@@ -1,0 +1,144 @@
+// vuvuzela-client is an interactive terminal client: it keeps the
+// always-on connection the paper recommends (§2.2: "users run the
+// Vuvuzela client at all times"), dials contacts by name through the
+// dialing protocol, and exchanges messages through the conversation
+// protocol.
+//
+// Usage:
+//
+//	vuvuzela-client -chain deploy/chain.json -key deploy/alice.key -users deploy/users.json
+//
+// Commands:
+//
+//	/dial <name>   send an invitation and preemptively open the conversation
+//	/talk <name>   switch the active conversation
+//	/end           end the active conversation (revert to cover traffic)
+//	/who           list directory names
+//	/quit          exit
+//	anything else  send as a message on the active conversation
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"vuvuzela/internal/client"
+	"vuvuzela/internal/config"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/pki"
+	"vuvuzela/internal/transport"
+)
+
+func main() {
+	chainPath := flag.String("chain", "chain.json", "chain config file")
+	keyPath := flag.String("key", "", "user identity file")
+	usersPath := flag.String("users", "users.json", "PKI directory file")
+	flag.Parse()
+	if *keyPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	chain, err := config.LoadChain(*chainPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	me, err := config.LoadUserKey(*keyPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := pki.Load(*usersPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := client.Dial(client.Config{
+		Pub:       box.PublicKey(me.PublicKey),
+		Priv:      box.PrivateKey(me.PrivateKey),
+		ChainPubs: chain.PublicKeys(),
+		Net:       transport.TCP{},
+		EntryAddr: chain.EntryAddr,
+		CDNAddr:   chain.CDNAddr(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s as %s\n", chain.EntryAddr, me.Name)
+
+	// Event printer.
+	go func() {
+		for e := range c.Events() {
+			switch ev := e.(type) {
+			case client.MessageEvent:
+				name, ok := dir.NameOf(ev.Peer)
+				if !ok {
+					name = "unknown"
+				}
+				fmt.Printf("\r<%s> %s\n> ", name, ev.Text)
+			case client.InvitationEvent:
+				name, ok := dir.NameOf(ev.From)
+				if !ok {
+					name = fmt.Sprintf("unknown key %x…", ev.From[:4])
+				}
+				fmt.Printf("\r* incoming call from %s — use /talk %s to answer\n> ", name, name)
+			case client.ErrorEvent:
+				fmt.Printf("\r! %v\n> ", ev.Err)
+			}
+		}
+	}()
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+		case line == "/quit":
+			return
+		case line == "/end":
+			c.EndConversation()
+			fmt.Println("conversation ended (idle cover traffic resumes)")
+		case line == "/who":
+			for _, n := range dir.Names() {
+				fmt.Println(" ", n)
+			}
+		case strings.HasPrefix(line, "/dial "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "/dial "))
+			pk, err := dir.Lookup(name)
+			if err != nil {
+				fmt.Println("!", err)
+				break
+			}
+			c.DialUser(pk)
+			if err := c.StartConversation(pk); err != nil {
+				fmt.Println("!", err)
+				break
+			}
+			fmt.Printf("invitation to %s queued for the next dialing round\n", name)
+		case strings.HasPrefix(line, "/talk "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "/talk "))
+			pk, err := dir.Lookup(name)
+			if err != nil {
+				fmt.Println("!", err)
+				break
+			}
+			if err := c.StartConversation(pk); err != nil {
+				fmt.Println("!", err)
+				break
+			}
+			fmt.Printf("talking to %s\n", name)
+		case strings.HasPrefix(line, "/"):
+			fmt.Println("! unknown command")
+		default:
+			if err := c.Send(line); err != nil {
+				fmt.Println("!", err)
+			}
+		}
+		fmt.Print("> ")
+	}
+}

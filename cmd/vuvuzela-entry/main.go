@@ -1,0 +1,55 @@
+// vuvuzela-entry runs the untrusted entry server (paper §7): it maintains
+// client connections, announces rounds on timers, batches client requests
+// into the chain, and demultiplexes replies.
+//
+// Usage:
+//
+//	vuvuzela-entry -chain deploy/chain.json -convo-interval 10s -dial-interval 1m
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"time"
+
+	"vuvuzela/internal/config"
+	"vuvuzela/internal/coordinator"
+	"vuvuzela/internal/transport"
+)
+
+func main() {
+	chainPath := flag.String("chain", "chain.json", "chain config file")
+	convoEvery := flag.Duration("convo-interval", 10*time.Second, "conversation round interval")
+	dialEvery := flag.Duration("dial-interval", time.Minute, "dialing round interval (paper uses 10m in production)")
+	submitTimeout := flag.Duration("submit-timeout", 5*time.Second, "how long to wait for client submissions")
+	flag.Parse()
+
+	chain, err := config.LoadChain(*chainPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	co, err := coordinator.New(coordinator.Config{
+		Net:           transport.TCP{},
+		ChainAddr:     chain.Servers[0].Addr,
+		DialBuckets:   chain.DialBuckets,
+		SubmitTimeout: *submitTimeout,
+		ConvoInterval: *convoEvery,
+		DialInterval:  *dialEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := transport.TCP{}.Listen(chain.EntryAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("vuvuzela entry server on %s → chain head %s (convo %v, dial %v)",
+		chain.EntryAddr, chain.Servers[0].Addr, *convoEvery, *dialEvery)
+
+	co.Start(context.Background())
+	if err := co.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

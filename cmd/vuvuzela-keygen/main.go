@@ -1,0 +1,127 @@
+// vuvuzela-keygen generates deployment key material: a chain config with
+// fresh server key pairs, per-server private key files, and user identity
+// files registered into a PKI directory.
+//
+// Usage:
+//
+//	vuvuzela-keygen chain -servers 3 -out ./deploy -base-port 2719
+//	vuvuzela-keygen user  -name alice -out ./deploy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vuvuzela/internal/config"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/pki"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "chain":
+		chainCmd(os.Args[2:])
+	case "user":
+		userCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vuvuzela-keygen chain -servers N -out DIR [-host HOST] [-base-port PORT] [-mu MU] [-b B] [-dial-mu MU] [-dial-b B] [-dial-buckets M]
+  vuvuzela-keygen user  -name NAME -out DIR`)
+	os.Exit(2)
+}
+
+func chainCmd(args []string) {
+	fs := flag.NewFlagSet("chain", flag.ExitOnError)
+	servers := fs.Int("servers", 3, "number of chain servers")
+	out := fs.String("out", ".", "output directory")
+	host := fs.String("host", "127.0.0.1", "host for generated addresses")
+	basePort := fs.Int("base-port", 2719, "first server port (entry uses base-port-1, CDN uses base-port+servers)")
+	mu := fs.Float64("mu", 300000, "conversation noise mean µ per mixing server")
+	b := fs.Float64("b", 13800, "conversation noise scale b")
+	dialMu := fs.Float64("dial-mu", 13000, "dialing noise mean µ per bucket")
+	dialB := fs.Float64("dial-b", 770, "dialing noise scale b")
+	dialBuckets := fs.Uint("dial-buckets", 1, "invitation dead drop count m")
+	fs.Parse(args)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	chain := &config.Chain{
+		EntryAddr:    fmt.Sprintf("%s:%d", *host, *basePort-1),
+		ConvoNoiseMu: *mu, ConvoNoiseB: *b,
+		DialNoiseMu: *dialMu, DialNoiseB: *dialB,
+		DialBuckets: uint32(*dialBuckets),
+	}
+	for i := 0; i < *servers; i++ {
+		pub, priv, err := box.GenerateKey(nil)
+		if err != nil {
+			fatal(err)
+		}
+		srv := config.Server{
+			Addr:      fmt.Sprintf("%s:%d", *host, *basePort+i),
+			PublicKey: config.Key(pub),
+		}
+		if i == *servers-1 {
+			srv.CDNAddr = fmt.Sprintf("%s:%d", *host, *basePort+*servers)
+		}
+		chain.Servers = append(chain.Servers, srv)
+		keyPath := filepath.Join(*out, fmt.Sprintf("server-%d.key", i))
+		if err := config.Save(keyPath, &config.ServerKey{Position: i, PrivateKey: config.Key(priv)}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", keyPath)
+	}
+	chainPath := filepath.Join(*out, "chain.json")
+	if err := config.Save(chainPath, chain); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d servers, entry %s)\n", chainPath, *servers, chain.EntryAddr)
+}
+
+func userCmd(args []string) {
+	fs := flag.NewFlagSet("user", flag.ExitOnError)
+	name := fs.String("name", "", "username")
+	out := fs.String("out", ".", "output directory")
+	fs.Parse(args)
+	if *name == "" {
+		usage()
+	}
+
+	pub, priv, err := box.GenerateKey(nil)
+	if err != nil {
+		fatal(err)
+	}
+	keyPath := filepath.Join(*out, *name+".key")
+	if err := config.Save(keyPath, &config.UserKey{
+		Name: *name, PublicKey: config.Key(pub), PrivateKey: config.Key(priv),
+	}); err != nil {
+		fatal(err)
+	}
+
+	// Register into the shared directory, creating it if needed.
+	dirPath := filepath.Join(*out, "users.json")
+	dir, err := pki.Load(dirPath)
+	if err != nil {
+		dir = pki.NewDirectory()
+	}
+	dir.Register(*name, pub)
+	if err := dir.Save(dirPath); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s and registered %q in %s\n", keyPath, *name, dirPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vuvuzela-keygen:", err)
+	os.Exit(1)
+}

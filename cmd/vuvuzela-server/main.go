@@ -1,0 +1,113 @@
+// vuvuzela-server runs one Vuvuzela chain server (paper Algorithm 2). The
+// last server in the chain additionally hosts the invitation CDN,
+// serving dialing buckets to clients.
+//
+// Usage:
+//
+//	vuvuzela-server -chain deploy/chain.json -key deploy/server-0.key
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vuvuzela/internal/cdn"
+	"vuvuzela/internal/config"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/transport"
+)
+
+func main() {
+	chainPath := flag.String("chain", "chain.json", "chain config file")
+	keyPath := flag.String("key", "", "server private key file")
+	fixedNoise := flag.Bool("fixed-noise", false, "add exactly µ noise instead of sampling Laplace (evaluation mode, §8.1)")
+	workers := flag.Int("workers", 0, "crypto worker goroutines (0 = all cores)")
+	flag.Parse()
+	if *keyPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	chain, err := config.LoadChain(*chainPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := config.LoadServerKey(*keyPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pos := key.Position
+	if pos < 0 || pos >= len(chain.Servers) {
+		log.Fatalf("key position %d out of range for %d-server chain", pos, len(chain.Servers))
+	}
+	priv := box.PrivateKey(key.PrivateKey)
+	// Refuse to run with a key that does not match the published chain.
+	pub, err := box.PublicKeyOf(&priv)
+	if err != nil || pub != box.PublicKey(chain.Servers[pos].PublicKey) {
+		log.Fatalf("private key does not match chain.json entry for position %d", pos)
+	}
+
+	var convoNoise, dialNoise noise.Distribution
+	if *fixedNoise {
+		convoNoise = noise.Fixed{N: int(chain.ConvoNoiseMu)}
+		dialNoise = noise.Fixed{N: int(chain.DialNoiseMu)}
+	} else {
+		convoNoise = noise.Laplace{Mu: chain.ConvoNoiseMu, B: chain.ConvoNoiseB}
+		dialNoise = noise.Laplace{Mu: chain.DialNoiseMu, B: chain.DialNoiseB}
+	}
+
+	cfg := mixnet.Config{
+		Position:   pos,
+		ChainPubs:  chain.PublicKeys(),
+		Priv:       priv,
+		ConvoNoise: convoNoise,
+		DialNoise:  dialNoise,
+		Workers:    *workers,
+		Net:        transport.TCP{},
+	}
+	last := pos == len(chain.Servers)-1
+	var store *cdn.Store
+	if last {
+		store = cdn.NewStore(0)
+		cfg.Buckets = store
+	} else {
+		cfg.NextAddr = chain.Servers[pos+1].Addr
+	}
+
+	srv, err := mixnet.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if last && chain.CDNAddr() != "" {
+		cdnL, err := transport.TCP{}.Listen(chain.CDNAddr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := store.Serve(cdnL); err != nil {
+				log.Printf("cdn: %v", err)
+			}
+		}()
+		log.Printf("serving invitation buckets on %s", chain.CDNAddr())
+	}
+
+	l, err := transport.TCP{}.Listen(chain.Servers[pos].Addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	role := "mixing"
+	if last {
+		role = "last (dead drops)"
+	}
+	log.Printf("vuvuzela server %d/%d (%s) listening on %s, convo noise µ=%.0f",
+		pos, len(chain.Servers), role, chain.Servers[pos].Addr, chain.ConvoNoiseMu)
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

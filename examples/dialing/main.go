@@ -1,0 +1,89 @@
+// Dialing: the complete call flow of paper §5 — Alice sends an invitation
+// through the dialing protocol's mixed and noised invitation dead drops;
+// Bob downloads his bucket from the (untrusted) CDN, trial-decrypts every
+// invitation in it, finds Alice's call, accepts, and they converse.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"vuvuzela"
+)
+
+func main() {
+	net, err := vuvuzela.NewInProcessNetwork(vuvuzela.Options{
+		// Several invitation buckets, each independently noised by every
+		// server (§5.3).
+		DialBuckets: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	alice, err := net.NewClient("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := net.NewClient("bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Carol is online but idle: her client sends no-op dialing requests
+	// and fake conversation exchanges, indistinguishable from the others.
+	if _, err := net.NewClient("carol"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice dials Bob and preemptively enters the conversation,
+	// anticipating he will reciprocate (§3).
+	alice.DialUser(bob.PublicKey())
+	if err := alice.StartConversation(bob.PublicKey()); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if _, n, err := net.RunDialRound(ctx); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("dialing round completed; %d clients submitted (dialers and idlers alike)\n", n)
+	}
+
+	// Bob's client downloaded its invitation bucket from the CDN and
+	// trial-decrypted everything in it.
+	var from vuvuzela.PublicKey
+	for waiting := true; waiting; {
+		switch e := (<-bob.Events()).(type) {
+		case vuvuzela.InvitationEvent:
+			from = e.From
+			apk := alice.PublicKey()
+			fmt.Printf("bob received an invitation from %x… (alice is %x…)\n", from[:4], apk[:4])
+			waiting = false
+		case vuvuzela.ErrorEvent:
+			log.Fatal(e.Err)
+		}
+	}
+	if from != alice.PublicKey() {
+		log.Fatal("invitation not from alice")
+	}
+
+	// Bob accepts: deriving the shared secret from Alice's key is all it
+	// takes to meet her at the same dead drops.
+	if err := bob.StartConversation(from); err != nil {
+		log.Fatal(err)
+	}
+	if err := bob.Send("got your invite — this channel is metadata-private"); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := net.RunConvoRound(ctx); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		if e, ok := (<-alice.Events()).(vuvuzela.MessageEvent); ok {
+			fmt.Printf("alice received: %q\n", e.Text)
+			return
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package cdn
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vuvuzela/internal/dial"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+func buckets(round uint64, blobs ...[]byte) *dial.Buckets {
+	return &dial.Buckets{Round: round, M: uint32(len(blobs)), Data: blobs}
+}
+
+func TestPublishAndFetchLocal(t *testing.T) {
+	s := NewStore(0)
+	s.Publish(buckets(1, []byte("bucket-0"), []byte("bucket-1")))
+
+	if blob, ok := s.Bucket(1, 0); !ok || string(blob) != "bucket-0" {
+		t.Fatalf("bucket(1,0) = %q %v", blob, ok)
+	}
+	if blob, ok := s.Bucket(1, 1); !ok || string(blob) != "bucket-1" {
+		t.Fatalf("bucket(1,1) = %q %v", blob, ok)
+	}
+	if _, ok := s.Bucket(1, 2); ok {
+		t.Fatal("out-of-range bucket found")
+	}
+	if _, ok := s.Bucket(2, 0); ok {
+		t.Fatal("unknown round found")
+	}
+	if b, ok := s.Buckets(1); !ok || b.M != 2 {
+		t.Fatal("full bucket set lookup failed")
+	}
+}
+
+func TestRetention(t *testing.T) {
+	s := NewStore(2)
+	for r := uint64(1); r <= 5; r++ {
+		s.Publish(buckets(r, []byte{byte(r)}))
+	}
+	for r := uint64(1); r <= 3; r++ {
+		if _, ok := s.Bucket(r, 0); ok {
+			t.Fatalf("round %d not evicted", r)
+		}
+	}
+	for r := uint64(4); r <= 5; r++ {
+		if _, ok := s.Bucket(r, 0); !ok {
+			t.Fatalf("round %d missing", r)
+		}
+	}
+}
+
+func TestRepublishSameRound(t *testing.T) {
+	s := NewStore(2)
+	s.Publish(buckets(1, []byte("a")))
+	s.Publish(buckets(1, []byte("b")))
+	if blob, ok := s.Bucket(1, 0); !ok || string(blob) != "b" {
+		t.Fatalf("got %q %v", blob, ok)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	s := NewStore(0)
+	ch := s.Subscribe()
+	s.Publish(buckets(7, []byte("x")))
+	select {
+	case r := <-ch:
+		if r != 7 {
+			t.Fatalf("notified round %d", r)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no notification")
+	}
+}
+
+func TestServeFetch(t *testing.T) {
+	net := transport.NewMem()
+	s := NewStore(0)
+	blob := bytes.Repeat([]byte{0xcd}, 800)
+	s.Publish(buckets(3, []byte("zero"), blob))
+
+	l, err := net.Listen("cdn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go s.Serve(l)
+
+	raw, err := net.Dial("cdn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := wire.NewConn(raw)
+	defer conn.Close()
+
+	got, err := Fetch(conn, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("blob mismatch")
+	}
+	// Missing buckets come back empty, not as an error.
+	got, err = Fetch(conn, 99, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("missing bucket returned %d bytes", len(got))
+	}
+	// Multiple fetches on one connection.
+	if got, err = Fetch(conn, 3, 0); err != nil || string(got) != "zero" {
+		t.Fatalf("second fetch: %q %v", got, err)
+	}
+}

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vuvuzela/internal/coordinator"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/transport"
+)
+
+// TestClientWithoutCDN: a client configured without a CDN address still
+// participates in dialing rounds (sending no-ops) and gets the round
+// event, just no invitation scan — the degraded mode a restricted
+// deployment might run.
+func TestClientWithoutCDN(t *testing.T) {
+	net := transport.NewMem()
+	pubs, privs, err := mixnet.NewChainKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, err := mixnet.NewLocalChain(pubs, privs, mixnet.Config{
+		DialNoise: noise.Fixed{N: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := coordinator.New(coordinator.Config{
+		ChainLocal:    servers[0],
+		SubmitTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve(l)
+	defer func() { l.Close(); co.Close() }()
+
+	pub, priv := box.KeyPairFromSeed([]byte("loner"))
+	c, err := Dial(Config{
+		Pub: pub, Priv: priv,
+		ChainPubs: pubs,
+		Net:       net,
+		EntryAddr: "entry",
+		// No CDNAddr.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for co.NumClients() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("registration timed out")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, n, err := co.RunDialRound(context.Background()); err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	waitEvent(t, c, 2*time.Second, func(e Event) bool {
+		_, ok := e.(DialRoundEvent)
+		return ok
+	})
+}
+
+// TestEventOverflowDoesNotBlock: a client whose application never drains
+// events keeps participating in rounds (events are dropped, not queued
+// unboundedly — missing the submission window would be worse).
+func TestEventOverflowDoesNotBlock(t *testing.T) {
+	tn := newTestNet(t)
+	pub, priv := box.KeyPairFromSeed([]byte("deaf"))
+	c, err := Dial(Config{
+		Pub: pub, Priv: priv,
+		ChainPubs: tn.chain,
+		Net:       tn.net,
+		EntryAddr: "entry",
+		CDNAddr:   "cdn",
+		EventBuf:  1, // overflow after a single event
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for tn.co.NumClients() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("registration timed out")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, n, err := tn.co.RunConvoRound(ctx); err != nil || n != 1 {
+			t.Fatalf("round %d: n=%d err=%v", i, n, err)
+		}
+	}
+}
+
+// TestGoBackNWindowFull: queueing far more messages than the window
+// delivers them all, in order, across successive rounds.
+func TestGoBackNWindowFull(t *testing.T) {
+	tn := newTestNet(t)
+	alice := tn.dialClient(t, "alice", 1)
+	bob := tn.dialClient(t, "bob", 2)
+	alice.StartConversation(bob.PublicKey())
+	bob.StartConversation(alice.PublicKey())
+
+	const total = 10 // > sendWindow = 4
+	want := make([]string, total)
+	for i := range want {
+		want[i] = string(rune('a' + i))
+		if err := alice.Send(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	var got []string
+	// Go-back-N delivers ≤1 message per round; allow slack rounds for
+	// ack latency.
+	for round := 0; round < total+6 && len(got) < total; round++ {
+		if _, _, err := tn.co.RunConvoRound(ctx); err != nil {
+			t.Fatal(err)
+		}
+		drain := true
+		for drain {
+			select {
+			case e := <-bob.Events():
+				if m, ok := e.(MessageEvent); ok {
+					got = append(got, m.Text)
+				}
+			case <-time.After(200 * time.Millisecond):
+				drain = false
+			}
+		}
+	}
+	if len(got) != total {
+		t.Fatalf("delivered %d of %d: %v", len(got), total, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+	if alice.QueueLen() > 0 {
+		// Queue may still hold entries if the final acks haven't made a
+		// full trip; run a couple of ack rounds.
+		for i := 0; i < 3 && alice.QueueLen() > 0; i++ {
+			tn.co.RunConvoRound(ctx)
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if n := alice.QueueLen(); n != 0 {
+		t.Fatalf("queue not drained: %d", n)
+	}
+}

@@ -1,0 +1,154 @@
+// Package config defines the JSON configuration files shared by the
+// command-line tools: the chain description every participant loads ahead
+// of time (paper §3: "the chain of servers, along with each server's
+// public key, is known to clients ahead of time") and the private key
+// files for servers and users.
+package config
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"vuvuzela/internal/crypto/box"
+)
+
+// Key is a hex-encoded 32-byte key in JSON.
+type Key [32]byte
+
+// MarshalJSON implements json.Marshaler.
+func (k Key) MarshalJSON() ([]byte, error) {
+	return json.Marshal(hex.EncodeToString(k[:]))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *Key) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("config: bad hex key: %w", err)
+	}
+	if len(raw) != 32 {
+		return fmt.Errorf("config: key is %d bytes, want 32", len(raw))
+	}
+	copy(k[:], raw)
+	return nil
+}
+
+// Server describes one chain server as seen by clients and peers.
+type Server struct {
+	// Addr is the address the server listens on for its predecessor.
+	Addr string `json:"addr"`
+	// PublicKey is the server's long-term key.
+	PublicKey Key `json:"public_key"`
+	// CDNAddr is where the last server serves invitation buckets; empty
+	// for other positions.
+	CDNAddr string `json:"cdn_addr,omitempty"`
+}
+
+// Chain is the shared deployment description.
+type Chain struct {
+	// EntryAddr is the entry server's client-facing address.
+	EntryAddr string `json:"entry_addr"`
+	// Servers lists the chain in order; clients onion-encrypt for all of
+	// them, entry connects to Servers[0].
+	Servers []Server `json:"servers"`
+	// ConvoNoiseMu/B are the conversation noise parameters each mixing
+	// server applies.
+	ConvoNoiseMu float64 `json:"convo_noise_mu"`
+	ConvoNoiseB  float64 `json:"convo_noise_b"`
+	// DialNoiseMu/B are the per-bucket dialing noise parameters.
+	DialNoiseMu float64 `json:"dial_noise_mu"`
+	DialNoiseB  float64 `json:"dial_noise_b"`
+	// DialBuckets is the invitation dead-drop count m.
+	DialBuckets uint32 `json:"dial_buckets"`
+}
+
+// PublicKeys returns the chain's keys in box form.
+func (c *Chain) PublicKeys() []box.PublicKey {
+	out := make([]box.PublicKey, len(c.Servers))
+	for i, s := range c.Servers {
+		out[i] = box.PublicKey(s.PublicKey)
+	}
+	return out
+}
+
+// CDNAddr returns the last server's bucket-serving address.
+func (c *Chain) CDNAddr() string {
+	if len(c.Servers) == 0 {
+		return ""
+	}
+	return c.Servers[len(c.Servers)-1].CDNAddr
+}
+
+// ServerKey is a server's private key file.
+type ServerKey struct {
+	Position   int `json:"position"`
+	PrivateKey Key `json:"private_key"`
+}
+
+// UserKey is a user's identity file.
+type UserKey struct {
+	Name       string `json:"name"`
+	PublicKey  Key    `json:"public_key"`
+	PrivateKey Key    `json:"private_key"`
+}
+
+// Save writes any config value as indented JSON. Key files get 0600.
+func Save(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	mode := os.FileMode(0o644)
+	switch v.(type) {
+	case *ServerKey, ServerKey, *UserKey, UserKey:
+		mode = 0o600
+	}
+	return os.WriteFile(path, append(data, '\n'), mode)
+}
+
+// LoadChain reads a chain file.
+func LoadChain(path string) (*Chain, error) {
+	var c Chain
+	if err := load(path, &c); err != nil {
+		return nil, err
+	}
+	if len(c.Servers) == 0 {
+		return nil, fmt.Errorf("config: %s has no servers", path)
+	}
+	return &c, nil
+}
+
+// LoadServerKey reads a server key file.
+func LoadServerKey(path string) (*ServerKey, error) {
+	var k ServerKey
+	if err := load(path, &k); err != nil {
+		return nil, err
+	}
+	return &k, nil
+}
+
+// LoadUserKey reads a user identity file.
+func LoadUserKey(path string) (*UserKey, error) {
+	var k UserKey
+	if err := load(path, &k); err != nil {
+		return nil, err
+	}
+	return &k, nil
+}
+
+func load(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("config: parsing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vuvuzela/internal/crypto/box"
+)
+
+func TestChainRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pub, _ := box.KeyPairFromSeed([]byte("s0"))
+	chain := &Chain{
+		EntryAddr: "127.0.0.1:2718",
+		Servers: []Server{
+			{Addr: "127.0.0.1:2719", PublicKey: Key(pub)},
+			{Addr: "127.0.0.1:2720", PublicKey: Key(pub), CDNAddr: "127.0.0.1:2730"},
+		},
+		ConvoNoiseMu: 300000, ConvoNoiseB: 13800,
+		DialNoiseMu: 13000, DialNoiseB: 770,
+		DialBuckets: 1,
+	}
+	path := filepath.Join(dir, "chain.json")
+	if err := Save(path, chain); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadChain(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.EntryAddr != chain.EntryAddr || len(back.Servers) != 2 {
+		t.Fatalf("chain mismatch: %+v", back)
+	}
+	if back.Servers[1].CDNAddr != "127.0.0.1:2730" || back.CDNAddr() != "127.0.0.1:2730" {
+		t.Fatal("cdn addr lost")
+	}
+	if back.ConvoNoiseMu != 300000 || back.DialBuckets != 1 {
+		t.Fatal("noise params lost")
+	}
+	keys := back.PublicKeys()
+	if len(keys) != 2 || keys[0] != pub {
+		t.Fatal("public keys mismatch")
+	}
+}
+
+func TestKeyFilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pub, priv := box.KeyPairFromSeed([]byte("u"))
+
+	skPath := filepath.Join(dir, "server.key")
+	if err := Save(skPath, &ServerKey{Position: 2, PrivateKey: Key(priv)}); err != nil {
+		t.Fatal(err)
+	}
+	sk, err := LoadServerKey(skPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Position != 2 || sk.PrivateKey != Key(priv) {
+		t.Fatal("server key mismatch")
+	}
+
+	ukPath := filepath.Join(dir, "user.key")
+	if err := Save(ukPath, &UserKey{Name: "alice", PublicKey: Key(pub), PrivateKey: Key(priv)}); err != nil {
+		t.Fatal(err)
+	}
+	uk, err := LoadUserKey(ukPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uk.Name != "alice" || uk.PublicKey != Key(pub) {
+		t.Fatal("user key mismatch")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadChain(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing chain loaded")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := Save(empty, &Chain{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChain(empty); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+}
+
+func TestKeyJSONErrors(t *testing.T) {
+	var k Key
+	if err := k.UnmarshalJSON([]byte(`"zz"`)); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if err := k.UnmarshalJSON([]byte(`"abcd"`)); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if err := k.UnmarshalJSON([]byte(`123`)); err == nil {
+		t.Fatal("non-string accepted")
+	}
+}

@@ -1,0 +1,483 @@
+// Package coordinator implements Vuvuzela's entry server (paper §7): an
+// untrusted front that maintains client connections, announces rounds,
+// multiplexes one fixed-size request per client per round into a single
+// batch for the chain, and demultiplexes the results back to clients.
+//
+// It coordinates both protocols: conversation rounds (with a reply path)
+// and dialing rounds (publish-only; clients fetch buckets from the CDN).
+// Rounds can be driven on timers (Start) or stepped manually
+// (RunConvoRound/RunDialRound), which tests and the evaluation harness
+// use for determinism.
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vuvuzela/internal/dial"
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// Config describes the entry server.
+type Config struct {
+	// Exactly one of ChainAddr+Net (networked server 0) or ChainLocal
+	// (in-process chain head) must be set.
+	Net        transport.Network
+	ChainAddr  string
+	ChainLocal *mixnet.Server
+
+	// DialBuckets is the number of invitation dead drops (m) announced
+	// for each dialing round (§5.4). Defaults to 1, the optimum at small
+	// scale (§7). Set AutoBuckets to let the coordinator compute it.
+	DialBuckets uint32
+
+	// AutoBuckets, if positive, enables the paper's adaptive bucket
+	// count (§5.4, left unimplemented in the prototype): each dialing
+	// round uses m = n·f/µ, where n is the connected client count, f is
+	// AutoBuckets (the assumed dialing fraction), and µ is
+	// AutoBucketsMu (the per-bucket noise mean).
+	AutoBuckets   float64
+	AutoBucketsMu float64
+
+	// ConvoExchanges is the fixed number of conversation exchanges every
+	// client performs per round — the §9 "multiple conversations"
+	// extension ("the client should pick a maximum number of
+	// conversations a priori (say, 5), and always send that many
+	// conversation protocol exchange messages per round"). Defaults to 1,
+	// the paper's prototype setting (§3.2).
+	ConvoExchanges uint32
+
+	// SubmitTimeout bounds how long a round waits for client submissions
+	// after the announcement ("waiting a fixed amount of time for clients
+	// to declare what dead drop they want to access", §3.1). A round
+	// closes early once every connected client has submitted.
+	SubmitTimeout time.Duration
+
+	// ConvoInterval and DialInterval drive timer mode (Start). The
+	// paper's prototype uses sub-minute conversation rounds and 10-minute
+	// dialing rounds (§5.2, §8.3).
+	ConvoInterval time.Duration
+	DialInterval  time.Duration
+}
+
+// Coordinator is a running entry server.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	clients map[*clientConn]struct{}
+	pending map[wire.Proto]*roundState
+	convoR  uint64
+	dialR   uint64
+
+	chainMu sync.Mutex
+	chain   map[wire.Proto]*wire.Conn
+
+	closeOnce sync.Once
+	closeCh   chan struct{}
+}
+
+// clientConn is one connected client. Outbound messages go through a
+// buffered queue drained by a dedicated writer goroutine, so one stalled
+// client can never block a round's announce/reply loop — the entry-server
+// DoS resilience §9 calls for. A client whose queue overflows is dropped.
+type clientConn struct {
+	conn   *wire.Conn
+	out    chan *wire.Message
+	closed chan struct{}
+	once   sync.Once
+}
+
+// errClientStalled marks a client dropped for not draining its queue.
+var errClientStalled = errors.New("coordinator: client stalled")
+
+func newClientConn(conn *wire.Conn) *clientConn {
+	cc := &clientConn{
+		conn:   conn,
+		out:    make(chan *wire.Message, 64),
+		closed: make(chan struct{}),
+	}
+	go cc.writeLoop()
+	return cc
+}
+
+func (cc *clientConn) writeLoop() {
+	for {
+		select {
+		case m := <-cc.out:
+			if err := cc.conn.Send(m); err != nil {
+				cc.close()
+				return
+			}
+		case <-cc.closed:
+			return
+		}
+	}
+}
+
+func (cc *clientConn) send(m *wire.Message) error {
+	select {
+	case cc.out <- m:
+		return nil
+	case <-cc.closed:
+		return errClientStalled
+	default:
+		// Queue full: the client is not reading. Drop it rather than
+		// let it hold up the round.
+		cc.close()
+		return errClientStalled
+	}
+}
+
+func (cc *clientConn) close() {
+	cc.once.Do(func() {
+		close(cc.closed)
+		cc.conn.Close()
+	})
+}
+
+// roundState collects one round's submissions.
+type roundState struct {
+	round uint64
+	// perClient is the fixed number of onions each client must submit
+	// (ConvoExchanges for conversations, 1 for dialing).
+	perClient int
+	mu        sync.Mutex
+	subs      map[*clientConn][][]byte
+	// full fires when every client known at announce time has submitted.
+	want int
+	full chan struct{}
+}
+
+func (rs *roundState) add(cc *clientConn, onions [][]byte) {
+	if len(onions) != rs.perClient {
+		return // malformed submission: wrong exchange count
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, dup := rs.subs[cc]; dup {
+		return // one submission per client per round
+	}
+	rs.subs[cc] = onions
+	if len(rs.subs) == rs.want {
+		close(rs.full)
+	}
+}
+
+// New creates a coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.ChainLocal == nil && (cfg.ChainAddr == "" || cfg.Net == nil) {
+		return nil, errors.New("coordinator: no chain configured")
+	}
+	if cfg.DialBuckets == 0 {
+		cfg.DialBuckets = 1
+	}
+	if cfg.ConvoExchanges == 0 {
+		cfg.ConvoExchanges = 1
+	}
+	if cfg.SubmitTimeout == 0 {
+		cfg.SubmitTimeout = 5 * time.Second
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		clients: make(map[*clientConn]struct{}),
+		pending: make(map[wire.Proto]*roundState),
+		chain:   make(map[wire.Proto]*wire.Conn),
+		closeCh: make(chan struct{}),
+	}, nil
+}
+
+// NumClients returns the number of connected clients.
+func (co *Coordinator) NumClients() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.clients)
+}
+
+// Serve accepts client connections until the listener closes.
+func (co *Coordinator) Serve(l net.Listener) error {
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			select {
+			case <-co.closeCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		cc := newClientConn(wire.NewConn(raw))
+		co.mu.Lock()
+		co.clients[cc] = struct{}{}
+		co.mu.Unlock()
+		go co.readLoop(cc)
+	}
+}
+
+// readLoop receives client submissions and routes them to the open round.
+func (co *Coordinator) readLoop(cc *clientConn) {
+	defer func() {
+		co.mu.Lock()
+		delete(co.clients, cc)
+		co.mu.Unlock()
+		cc.close()
+	}()
+	for {
+		msg, err := cc.conn.Recv()
+		if err != nil {
+			return
+		}
+		if msg.Kind != wire.KindSubmit || len(msg.Body) == 0 {
+			continue
+		}
+		co.mu.Lock()
+		rs := co.pending[msg.Proto]
+		co.mu.Unlock()
+		if rs == nil || rs.round != msg.Round {
+			continue // late or unknown round: drop (client retries next round)
+		}
+		rs.add(cc, msg.Body)
+	}
+}
+
+// RunConvoRound executes one conversation round: announce, collect,
+// forward through the chain, and deliver replies. It returns the round
+// number and how many clients participated.
+func (co *Coordinator) RunConvoRound(ctx context.Context) (round uint64, participants int, err error) {
+	co.mu.Lock()
+	co.convoR++
+	round = co.convoR
+	co.mu.Unlock()
+
+	k := int(co.cfg.ConvoExchanges)
+	subs, clients, err := co.collect(ctx, wire.ProtoConvo, round, co.cfg.ConvoExchanges, k)
+	if err != nil {
+		return round, 0, err
+	}
+
+	replies, err := co.forwardConvo(round, subs)
+	if err != nil {
+		return round, len(clients), err
+	}
+	if len(replies) != len(subs) {
+		return round, len(clients), fmt.Errorf("coordinator: chain returned %d replies for %d requests", len(replies), len(subs))
+	}
+	for i, cc := range clients {
+		msg := &wire.Message{
+			Kind: wire.KindReply, Proto: wire.ProtoConvo, Round: round,
+			M: co.cfg.ConvoExchanges, Body: replies[i*k : (i+1)*k],
+		}
+		if err := cc.send(msg); err != nil {
+			cc.close()
+		}
+	}
+	return round, len(clients), nil
+}
+
+// RunDialRound executes one dialing round: announce (with the bucket
+// count m), collect, forward, and acknowledge so clients know the round's
+// buckets are published.
+func (co *Coordinator) RunDialRound(ctx context.Context) (round uint64, participants int, err error) {
+	co.mu.Lock()
+	co.dialR++
+	round = co.dialR
+	clients := len(co.clients)
+	co.mu.Unlock()
+
+	m := co.cfg.DialBuckets
+	if co.cfg.AutoBuckets > 0 && co.cfg.AutoBucketsMu > 0 {
+		// §5.4: m = n·f/µ, proposed per round from the current
+		// population so each bucket carries roughly equal real and noise
+		// invitations.
+		m = dial.OptimalBuckets(clients, co.cfg.AutoBuckets, co.cfg.AutoBucketsMu)
+	}
+	subs, order, err := co.collect(ctx, wire.ProtoDial, round, m, 1)
+	if err != nil {
+		return round, 0, err
+	}
+	if err := co.forwardDial(round, m, subs); err != nil {
+		return round, len(subs), err
+	}
+	for _, cc := range order {
+		msg := &wire.Message{Kind: wire.KindReply, Proto: wire.ProtoDial, Round: round, M: m}
+		if err := cc.send(msg); err != nil {
+			cc.close()
+		}
+	}
+	return round, len(subs), nil
+}
+
+// collect announces a round and gathers perClient onions from every
+// connected client, returning the flattened batch and the client order
+// (client i owns batch[i·perClient : (i+1)·perClient]).
+func (co *Coordinator) collect(ctx context.Context, proto wire.Proto, round uint64, m uint32, perClient int) ([][]byte, []*clientConn, error) {
+	co.mu.Lock()
+	snapshot := make([]*clientConn, 0, len(co.clients))
+	for cc := range co.clients {
+		snapshot = append(snapshot, cc)
+	}
+	rs := &roundState{
+		round:     round,
+		perClient: perClient,
+		subs:      make(map[*clientConn][][]byte, len(snapshot)),
+		want:      len(snapshot),
+		full:      make(chan struct{}),
+	}
+	if rs.want == 0 {
+		close(rs.full)
+	}
+	co.pending[proto] = rs
+	co.mu.Unlock()
+
+	announce := &wire.Message{Kind: wire.KindAnnounce, Proto: proto, Round: round, M: m}
+	for _, cc := range snapshot {
+		if err := cc.send(announce); err != nil {
+			cc.close()
+		}
+	}
+
+	timer := time.NewTimer(co.cfg.SubmitTimeout)
+	defer timer.Stop()
+	select {
+	case <-rs.full:
+	case <-timer.C:
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	case <-co.closeCh:
+		return nil, nil, errors.New("coordinator: closed")
+	}
+
+	co.mu.Lock()
+	delete(co.pending, proto)
+	co.mu.Unlock()
+
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	batch := make([][]byte, 0, len(rs.subs)*perClient)
+	order := make([]*clientConn, 0, len(rs.subs))
+	for _, cc := range snapshot {
+		if onions, ok := rs.subs[cc]; ok {
+			batch = append(batch, onions...)
+			order = append(order, cc)
+		}
+	}
+	return batch, order, nil
+}
+
+func (co *Coordinator) forwardConvo(round uint64, batch [][]byte) ([][]byte, error) {
+	if co.cfg.ChainLocal != nil {
+		return co.cfg.ChainLocal.ConvoRound(round, batch)
+	}
+	return co.chainRPC(wire.ProtoConvo, round, 0, batch)
+}
+
+func (co *Coordinator) forwardDial(round uint64, m uint32, batch [][]byte) error {
+	if co.cfg.ChainLocal != nil {
+		return co.cfg.ChainLocal.DialRound(round, m, batch)
+	}
+	_, err := co.chainRPC(wire.ProtoDial, round, m, batch)
+	return err
+}
+
+func (co *Coordinator) chainRPC(proto wire.Proto, round uint64, m uint32, batch [][]byte) ([][]byte, error) {
+	for attempt := 0; ; attempt++ {
+		conn, err := co.chainConn(proto)
+		if err != nil {
+			return nil, err
+		}
+		if err = conn.Send(&wire.Message{Kind: wire.KindBatch, Proto: proto, Round: round, M: m, Body: batch}); err == nil {
+			var resp *wire.Message
+			if resp, err = conn.Recv(); err == nil {
+				if resp.Kind != wire.KindReplies || resp.Round != round {
+					return nil, fmt.Errorf("coordinator: unexpected chain response")
+				}
+				return resp.Body, nil
+			}
+		}
+		co.dropChainConn(proto, conn)
+		if attempt == 1 {
+			return nil, fmt.Errorf("coordinator: chain rpc: %w", err)
+		}
+	}
+}
+
+func (co *Coordinator) chainConn(proto wire.Proto) (*wire.Conn, error) {
+	co.chainMu.Lock()
+	defer co.chainMu.Unlock()
+	if c := co.chain[proto]; c != nil {
+		return c, nil
+	}
+	raw, err := co.cfg.Net.Dial(co.cfg.ChainAddr)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: dialing chain %s: %w", co.cfg.ChainAddr, err)
+	}
+	c := wire.NewConn(raw)
+	co.chain[proto] = c
+	return c, nil
+}
+
+func (co *Coordinator) dropChainConn(proto wire.Proto, conn *wire.Conn) {
+	co.chainMu.Lock()
+	defer co.chainMu.Unlock()
+	if co.chain[proto] == conn {
+		conn.Close()
+		delete(co.chain, proto)
+	}
+}
+
+// Start drives rounds on timers until the context is cancelled: a
+// conversation round every ConvoInterval and a dialing round every
+// DialInterval (if set).
+func (co *Coordinator) Start(ctx context.Context) {
+	if co.cfg.ConvoInterval > 0 {
+		go co.loop(ctx, co.cfg.ConvoInterval, func() {
+			_, _, err := co.RunConvoRound(ctx)
+			_ = err // round failures are transient; the next tick retries
+		})
+	}
+	if co.cfg.DialInterval > 0 {
+		go co.loop(ctx, co.cfg.DialInterval, func() {
+			_, _, _ = co.RunDialRound(ctx)
+		})
+	}
+}
+
+func (co *Coordinator) loop(ctx context.Context, interval time.Duration, fn func()) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-co.closeCh:
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
+
+// Close disconnects all clients and the chain.
+func (co *Coordinator) Close() error {
+	co.closeOnce.Do(func() {
+		close(co.closeCh)
+		co.mu.Lock()
+		for cc := range co.clients {
+			cc.close()
+		}
+		co.mu.Unlock()
+		co.chainMu.Lock()
+		for proto, c := range co.chain {
+			c.Close()
+			delete(co.chain, proto)
+		}
+		co.chainMu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,267 @@
+// Package box implements NaCl-style public-key authenticated encryption
+// (crypto_box) and secret-key authenticated encryption (crypto_secretbox),
+// the primitives Vuvuzela uses for all message encryption (paper §7).
+//
+// The construction is exactly NaCl's: X25519 Diffie-Hellman (via the
+// standard library's crypto/ecdh), HSalsa20 key derivation, and
+// XSalsa20-Poly1305 authenticated encryption using the Salsa20 and Poly1305
+// implementations in sibling packages. Ciphertexts are laid out as
+// tag(16) || encrypted-payload, NaCl's "boxed" order.
+//
+// The package also provides an anonymous sealed box (ephemeral-sender box)
+// used for dialing invitations (§5.2): 32-byte ephemeral public key
+// followed by a box, for a total overhead of 48 bytes — matching the
+// paper's 80-byte invitations carrying a 32-byte payload.
+package box
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"io"
+
+	"vuvuzela/internal/crypto/poly1305"
+	"vuvuzela/internal/crypto/salsa"
+)
+
+const (
+	// KeySize is the size of public keys, private keys, and shared keys.
+	KeySize = 32
+	// NonceSize is the XSalsa20-Poly1305 nonce size.
+	NonceSize = 24
+	// Overhead is the number of bytes of ciphertext expansion (the
+	// Poly1305 tag).
+	Overhead = poly1305.TagSize
+	// AnonymousOverhead is the expansion of an anonymous sealed box:
+	// an ephemeral public key plus a tag.
+	AnonymousOverhead = KeySize + Overhead
+)
+
+// PublicKey is an X25519 public key (a Montgomery-u coordinate).
+type PublicKey [KeySize]byte
+
+// PrivateKey is an X25519 private key (a scalar).
+type PrivateKey [KeySize]byte
+
+var (
+	// ErrDecrypt indicates an authentication failure: the ciphertext was
+	// not produced under the given key and nonce.
+	ErrDecrypt = errors.New("box: authentication failed")
+	// ErrKeyExchange indicates an invalid peer public key (e.g. a
+	// low-order point producing an all-zero shared secret).
+	ErrKeyExchange = errors.New("box: key exchange failed")
+)
+
+var curve = ecdh.X25519()
+
+// GenerateKey creates a fresh X25519 key pair using entropy from r
+// (crypto/rand.Reader if r is nil).
+func GenerateKey(r io.Reader) (PublicKey, PrivateKey, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	priv, err := curve.GenerateKey(r)
+	if err != nil {
+		return PublicKey{}, PrivateKey{}, err
+	}
+	var pub PublicKey
+	var prv PrivateKey
+	copy(pub[:], priv.PublicKey().Bytes())
+	copy(prv[:], priv.Bytes())
+	return pub, prv, nil
+}
+
+// KeyPairFromSeed derives a deterministic key pair from a 32-byte seed.
+// Used for reproducible tests and simulations; the seed is hashed so any
+// distribution of seeds is acceptable.
+func KeyPairFromSeed(seed []byte) (PublicKey, PrivateKey) {
+	sum := sha256.Sum256(seed)
+	priv, err := curve.NewPrivateKey(sum[:])
+	if err != nil {
+		// A 32-byte input is always a valid X25519 private key.
+		panic("box: impossible: " + err.Error())
+	}
+	var pub PublicKey
+	var prv PrivateKey
+	copy(pub[:], priv.PublicKey().Bytes())
+	copy(prv[:], priv.Bytes())
+	return pub, prv
+}
+
+// PublicKeyOf returns the public key corresponding to a private key.
+func PublicKeyOf(priv *PrivateKey) (PublicKey, error) {
+	p, err := curve.NewPrivateKey(priv[:])
+	if err != nil {
+		return PublicKey{}, err
+	}
+	var pub PublicKey
+	copy(pub[:], p.PublicKey().Bytes())
+	return pub, nil
+}
+
+// Precompute computes the NaCl box shared key for a (peer public, own
+// private) key pair: HSalsa20(X25519(priv, pub), 0). The shared key can be
+// used with Seal and Open; both directions of a conversation derive the
+// same key, exactly as in crypto_box_beforenm.
+func Precompute(peersPublic *PublicKey, priv *PrivateKey) (*[KeySize]byte, error) {
+	sk, err := curve.NewPrivateKey(priv[:])
+	if err != nil {
+		return nil, ErrKeyExchange
+	}
+	pk, err := curve.NewPublicKey(peersPublic[:])
+	if err != nil {
+		return nil, ErrKeyExchange
+	}
+	dh, err := sk.ECDH(pk)
+	if err != nil {
+		return nil, ErrKeyExchange
+	}
+	var dhKey [KeySize]byte
+	copy(dhKey[:], dh)
+	shared := new([KeySize]byte)
+	var zeros [16]byte
+	salsa.HSalsa20(shared, &dhKey, &zeros)
+	return shared, nil
+}
+
+// Seal encrypts and authenticates msg with XSalsa20-Poly1305 under the
+// given shared key and nonce, returning tag || ciphertext. This is
+// crypto_secretbox (and crypto_box_afternm).
+func Seal(msg []byte, nonce *[NonceSize]byte, key *[KeySize]byte) []byte {
+	out := make([]byte, Overhead+len(msg))
+	SealInto(out, msg, nonce, key)
+	return out
+}
+
+// SealInto is Seal writing into a caller-provided buffer of length
+// Overhead+len(msg). out must not alias msg except when out[Overhead:]
+// exactly overlaps msg.
+func SealInto(out, msg []byte, nonce *[NonceSize]byte, key *[KeySize]byte) {
+	if len(out) != Overhead+len(msg) {
+		panic("box: bad output buffer size")
+	}
+	subKey, subNonce := salsa.DeriveX(key, nonce)
+
+	// Keystream block 0: bytes 0..31 are the Poly1305 key, bytes 32..63
+	// mask the first 32 bytes of plaintext.
+	var block0 [salsa.BlockSize]byte
+	salsa.KeyStreamBlock(&block0, &subKey, &subNonce, 0)
+	var polyKey [poly1305.KeySize]byte
+	copy(polyKey[:], block0[:32])
+
+	ct := out[Overhead:]
+	n := len(msg)
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		ct[i] = msg[i] ^ block0[32+i]
+	}
+	if len(msg) > 32 {
+		salsa.XORKeyStream(ct[32:], msg[32:], &subKey, &subNonce, 1)
+	}
+
+	var tag [poly1305.TagSize]byte
+	poly1305.Sum(&tag, ct, &polyKey)
+	copy(out[:Overhead], tag[:])
+}
+
+// Open authenticates and decrypts a box produced by Seal, returning the
+// plaintext. It returns ErrDecrypt if authentication fails.
+func Open(ct []byte, nonce *[NonceSize]byte, key *[KeySize]byte) ([]byte, error) {
+	if len(ct) < Overhead {
+		return nil, ErrDecrypt
+	}
+	subKey, subNonce := salsa.DeriveX(key, nonce)
+
+	var block0 [salsa.BlockSize]byte
+	salsa.KeyStreamBlock(&block0, &subKey, &subNonce, 0)
+	var polyKey [poly1305.KeySize]byte
+	copy(polyKey[:], block0[:32])
+
+	var tag [poly1305.TagSize]byte
+	copy(tag[:], ct[:Overhead])
+	body := ct[Overhead:]
+	if !poly1305.Verify(&tag, body, &polyKey) {
+		return nil, ErrDecrypt
+	}
+
+	msg := make([]byte, len(body))
+	n := len(body)
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		msg[i] = body[i] ^ block0[32+i]
+	}
+	if len(body) > 32 {
+		salsa.XORKeyStream(msg[32:], body[32:], &subKey, &subNonce, 1)
+	}
+	return msg, nil
+}
+
+// SealBox encrypts msg from the sender (private key) to the recipient
+// (public key): crypto_box.
+func SealBox(msg []byte, nonce *[NonceSize]byte, peersPublic *PublicKey, priv *PrivateKey) ([]byte, error) {
+	shared, err := Precompute(peersPublic, priv)
+	if err != nil {
+		return nil, err
+	}
+	return Seal(msg, nonce, shared), nil
+}
+
+// OpenBox decrypts a box from the sender (public key) to the recipient
+// (private key): crypto_box_open.
+func OpenBox(ct []byte, nonce *[NonceSize]byte, peersPublic *PublicKey, priv *PrivateKey) ([]byte, error) {
+	shared, err := Precompute(peersPublic, priv)
+	if err != nil {
+		return nil, err
+	}
+	return Open(ct, nonce, shared)
+}
+
+// SealAnonymous encrypts msg to the recipient's public key from a fresh
+// ephemeral key pair, so the ciphertext cannot be linked to the sender:
+// epk(32) || box(msg). The nonce is derived as SHA-256(epk || rpk)[:24],
+// which is safe because the ephemeral key is unique per message. This is
+// the construction used for dialing invitations (§5.2); a 32-byte payload
+// yields the paper's 80-byte invitation.
+func SealAnonymous(msg []byte, recipient *PublicKey, rng io.Reader) ([]byte, error) {
+	epub, epriv, err := GenerateKey(rng)
+	if err != nil {
+		return nil, err
+	}
+	nonce := anonymousNonce(&epub, recipient)
+	boxed, err := SealBox(msg, &nonce, recipient, &epriv)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, KeySize+len(boxed))
+	out = append(out, epub[:]...)
+	out = append(out, boxed...)
+	return out, nil
+}
+
+// OpenAnonymous decrypts a SealAnonymous ciphertext with the recipient's
+// private key. Used by dialing clients to trial-decrypt every invitation in
+// their dead drop (§5.1).
+func OpenAnonymous(ct []byte, recipientPub *PublicKey, recipientPriv *PrivateKey) ([]byte, error) {
+	if len(ct) < AnonymousOverhead {
+		return nil, ErrDecrypt
+	}
+	var epub PublicKey
+	copy(epub[:], ct[:KeySize])
+	nonce := anonymousNonce(&epub, recipientPub)
+	return OpenBox(ct[KeySize:], &nonce, &epub, recipientPriv)
+}
+
+func anonymousNonce(epub, rpub *PublicKey) [NonceSize]byte {
+	h := sha256.New()
+	h.Write([]byte("vuvuzela-sealed-v1"))
+	h.Write(epub[:])
+	h.Write(rpub[:])
+	var nonce [NonceSize]byte
+	copy(nonce[:], h.Sum(nil))
+	return nonce
+}

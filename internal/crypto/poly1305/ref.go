@@ -1,0 +1,77 @@
+package poly1305
+
+import (
+	"encoding/binary"
+	"math/big"
+)
+
+// refSum is an independent reference implementation of Poly1305 built on
+// math/big, following the definition in the Poly1305-AES paper and RFC 8439
+// §2.5.1 directly. It exists solely to cross-check the fast limb
+// implementation in tests; it is not constant-time and must not be used to
+// authenticate real traffic.
+func refSum(out *[TagSize]byte, msg []byte, key *[KeySize]byte) {
+	p := new(big.Int).Lsh(big.NewInt(1), 130)
+	p.Sub(p, big.NewInt(5)) // 2^130 - 5
+
+	// Clamp r.
+	var rb [16]byte
+	copy(rb[:], key[:16])
+	rb[3] &= 15
+	rb[7] &= 15
+	rb[11] &= 15
+	rb[15] &= 15
+	rb[4] &= 252
+	rb[8] &= 252
+	rb[12] &= 252
+	r := leBytesToInt(rb[:])
+
+	s := leBytesToInt(key[16:32])
+
+	acc := new(big.Int)
+	tmp := new(big.Int)
+	for len(msg) > 0 {
+		n := len(msg)
+		if n > 16 {
+			n = 16
+		}
+		var blk [17]byte
+		copy(blk[:], msg[:n])
+		blk[n] = 1
+		msg = msg[n:]
+
+		tmp.SetBytes(reverse(blk[:n+1]))
+		acc.Add(acc, tmp)
+		acc.Mul(acc, r)
+		acc.Mod(acc, p)
+	}
+	acc.Add(acc, s)
+	// Tag is the low 128 bits, little-endian.
+	mask := new(big.Int).Lsh(big.NewInt(1), 128)
+	mask.Sub(mask, big.NewInt(1))
+	acc.And(acc, mask)
+
+	var tag [TagSize]byte
+	ab := acc.Bytes() // big-endian
+	for i := 0; i < len(ab); i++ {
+		tag[len(ab)-1-i] = ab[i]
+	}
+	*out = tag
+}
+
+// leBytesToInt interprets b as a little-endian unsigned integer.
+func leBytesToInt(b []byte) *big.Int {
+	return new(big.Int).SetBytes(reverse(b))
+}
+
+// reverse returns a copy of b with byte order reversed.
+func reverse(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[len(b)-1-i] = v
+	}
+	return out
+}
+
+// used by tests to build structured messages
+func putUint64LE(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }

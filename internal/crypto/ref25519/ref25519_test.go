@@ -1,0 +1,169 @@
+package ref25519
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/hex"
+	"testing"
+)
+
+func fromHex(t *testing.T, s string) [32]byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 32 {
+		t.Fatalf("bad hex %q", s)
+	}
+	var out [32]byte
+	copy(out[:], b)
+	return out
+}
+
+// TestRFC7748Vector1 checks the first test vector from RFC 7748 §5.2.
+func TestRFC7748Vector1(t *testing.T) {
+	scalar := fromHex(t, "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+	point := fromHex(t, "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+	want := fromHex(t, "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+	got, err := X25519(&scalar, &point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("X25519 = %x, want %x", got, want)
+	}
+}
+
+// TestBasePointAgainstECDH cross-checks ScalarBaseMult against crypto/ecdh
+// public-key derivation for random scalars.
+func TestBasePointAgainstECDH(t *testing.T) {
+	curve := ecdh.X25519()
+	for i := 0; i < 8; i++ {
+		var scalar [32]byte
+		if _, err := rand.Read(scalar[:]); err != nil {
+			t.Fatal(err)
+		}
+		// crypto/ecdh requires a clamp-compatible scalar for NewPrivateKey;
+		// it accepts any 32 bytes and clamps internally during use.
+		priv, err := curve.NewPrivateKey(scalar[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := priv.PublicKey().Bytes()
+
+		got, err := ScalarBaseMult(&scalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("scalar %x: ref %x != ecdh %x", scalar, got, want)
+		}
+	}
+}
+
+// TestDHAgainstECDH cross-checks full Diffie-Hellman agreements against
+// crypto/ecdh for random key pairs.
+func TestDHAgainstECDH(t *testing.T) {
+	curve := ecdh.X25519()
+	for i := 0; i < 8; i++ {
+		alicePriv, err := curve.GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bobPriv, err := curve.GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := alicePriv.ECDH(bobPriv.PublicKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var a, bpub [32]byte
+		copy(a[:], alicePriv.Bytes())
+		copy(bpub[:], bobPriv.PublicKey().Bytes())
+		got, err := X25519(&a, &bpub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("ref %x != ecdh %x", got, want)
+		}
+	}
+}
+
+// TestDHCommutes verifies X25519(a, B) == X25519(b, A).
+func TestDHCommutes(t *testing.T) {
+	var a, b [32]byte
+	copy(a[:], bytes.Repeat([]byte{0x11}, 32))
+	copy(b[:], bytes.Repeat([]byte{0x42}, 32))
+	pa, err := ScalarBaseMult(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := ScalarBaseMult(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := X25519(&a, &pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := X25519(&b, &pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("shared secrets differ: %x vs %x", s1, s2)
+	}
+}
+
+// TestLowOrderPointRejected verifies the all-zero point (order 1) is
+// rejected, matching crypto/ecdh behaviour.
+func TestLowOrderPointRejected(t *testing.T) {
+	var scalar, zeroPoint [32]byte
+	scalar[0] = 8
+	if _, err := X25519(&scalar, &zeroPoint); err != ErrLowOrder {
+		t.Fatalf("expected ErrLowOrder, got %v", err)
+	}
+}
+
+// TestClampingIgnoresForbiddenBits verifies scalars differing only in
+// clamped bits produce identical outputs.
+func TestClampingIgnoresForbiddenBits(t *testing.T) {
+	base := fromHex(t, "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+	point := fromHex(t, "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+	variant := base
+	variant[0] |= 7    // low 3 bits are cleared by clamping
+	variant[31] |= 128 // top bit is cleared by clamping
+	r1, err := X25519(&base, &point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := X25519(&variant, &point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("clamped bit variations changed the result")
+	}
+}
+
+// TestHighBitOfPointMasked verifies the point's bit 255 is ignored per
+// RFC 7748 §5.
+func TestHighBitOfPointMasked(t *testing.T) {
+	scalar := fromHex(t, "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+	point := fromHex(t, "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+	masked := point
+	masked[31] |= 0x80
+	r1, err := X25519(&scalar, &point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := X25519(&scalar, &masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("high bit of point not masked")
+	}
+}

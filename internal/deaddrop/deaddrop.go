@@ -1,0 +1,90 @@
+// Package deaddrop implements the ephemeral dead-drop table held by the
+// last server in the chain for one conversation round (paper §3.1 and
+// Algorithm 2 step 3b).
+//
+// A dead drop is a virtual location named by a 128-bit ID. Each exchange
+// request deposits a fixed-size payload into a drop and receives back the
+// payload deposited by the other request on the same drop in the same
+// round, or a zero payload if there is none ("the last Vuvuzela server
+// returns an empty message when it receives only one exchange for a dead
+// drop", §4.1). Drops do not persist across rounds.
+package deaddrop
+
+// IDSize is the dead-drop identifier size: 128 bits (§3.1).
+const IDSize = 16
+
+// ID names a dead drop within a single round.
+type ID [IDSize]byte
+
+// Table accumulates the exchange requests of one round. The zero value is
+// not usable; call NewTable.
+type Table struct {
+	// byDrop maps drop ID to the request indexes that accessed it, in
+	// arrival order.
+	byDrop map[ID][]int
+	// payloads holds each request's deposited payload, indexed by arrival.
+	payloads [][]byte
+}
+
+// NewTable returns an empty table with capacity hints for n requests.
+func NewTable(n int) *Table {
+	return &Table{
+		byDrop:   make(map[ID][]int, n),
+		payloads: make([][]byte, 0, n),
+	}
+}
+
+// Add deposits a payload into the given drop and returns the request's
+// index. Payloads are not copied; callers must not mutate them until after
+// Exchange.
+func (t *Table) Add(id ID, payload []byte) int {
+	idx := len(t.payloads)
+	t.payloads = append(t.payloads, payload)
+	t.byDrop[id] = append(t.byDrop[id], idx)
+	return idx
+}
+
+// Len returns the number of requests added.
+func (t *Table) Len() int { return len(t.payloads) }
+
+// Exchange performs the round's dead-drop matching and returns one reply
+// per request, aligned with Add order. Requests on a drop are paired in
+// arrival order (1st with 2nd, 3rd with 4th, ...); a paired request
+// receives its partner's payload, and an unpaired request receives a zero
+// payload of equal length. Honest clients never collide (IDs are drawn
+// from a 2^128 space, §4.1 and footnote 6), so >2 accesses only arise from
+// adversarial traffic; pairing in arrival order keeps the reply size
+// invariant without revealing anything new.
+func (t *Table) Exchange() [][]byte {
+	replies := make([][]byte, len(t.payloads))
+	for _, idxs := range t.byDrop {
+		i := 0
+		for ; i+1 < len(idxs); i += 2 {
+			a, b := idxs[i], idxs[i+1]
+			replies[a] = t.payloads[b]
+			replies[b] = t.payloads[a]
+		}
+		if i < len(idxs) {
+			a := idxs[i]
+			replies[a] = make([]byte, len(t.payloads[a]))
+		}
+	}
+	return replies
+}
+
+// Histogram returns the observable variables of the round (§4.2): the
+// number of drops accessed once (m1), twice (m2), and more than twice
+// (more; only adversarial traffic produces these).
+func (t *Table) Histogram() (m1, m2, more int) {
+	for _, idxs := range t.byDrop {
+		switch len(idxs) {
+		case 1:
+			m1++
+		case 2:
+			m2++
+		default:
+			more++
+		}
+	}
+	return m1, m2, more
+}

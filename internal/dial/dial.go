@@ -1,0 +1,266 @@
+// Package dial implements Vuvuzela's dialing protocol (paper §5): sending
+// invitations to per-recipient invitation dead drops, the no-op dead drop
+// for idle clients, per-bucket server noise, bucket publication, and the
+// client-side trial decryption of downloaded buckets.
+package dial
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/noise"
+)
+
+const (
+	// InvitationPayloadSize is the plaintext invitation: the sender's
+	// long-term public key ("The invitation itself consists of the
+	// sender's public key", §5.1).
+	InvitationPayloadSize = box.KeySize
+	// InvitationSize is the sealed invitation: 80 bytes including 48
+	// bytes of overhead (§8.1).
+	InvitationSize = InvitationPayloadSize + box.AnonymousOverhead
+	// bucketPrefix is the bucket index header on the innermost dialing
+	// request.
+	bucketPrefix = 4
+	// RequestSize is the innermost dialing request: bucket index plus
+	// sealed invitation.
+	RequestSize = bucketPrefix + InvitationSize
+	// NoOpBucket is the special bucket index for clients not dialing
+	// anyone this round ("the client writes into a special no-op dead
+	// drop that is not used by any recipient", §5.2). The last server
+	// discards these without storing them.
+	NoOpBucket = ^uint32(0)
+)
+
+var (
+	// ErrBadRequest indicates a malformed dialing request.
+	ErrBadRequest = errors.New("dial: malformed dialing request")
+)
+
+// BucketOf maps a user's long-term public key to its invitation dead drop:
+// H(pk) mod m (§5.1).
+func BucketOf(pk *box.PublicKey, m uint32) uint32 {
+	if m == 0 {
+		return 0
+	}
+	sum := sha256.Sum256(pk[:])
+	return uint32(binary.BigEndian.Uint64(sum[:8]) % uint64(m))
+}
+
+// OptimalBuckets computes the paper's recommended number of invitation
+// dead drops (§5.4): m = n·f/µ, where n is the number of users, f the
+// fraction dialing per round, and µ the per-bucket noise mean — balancing
+// server cover-traffic cost against client download size so each bucket
+// carries roughly equal real and noise invitations. At small scale the
+// optimum collapses to a single bucket (§7).
+func OptimalBuckets(users int, dialingFraction, mu float64) uint32 {
+	if mu <= 0 {
+		return 1
+	}
+	m := float64(users) * dialingFraction / mu
+	if m < 1 {
+		return 1
+	}
+	return uint32(m)
+}
+
+// Invitation is a received, decrypted invitation.
+type Invitation struct {
+	// Sender is the long-term public key of the caller; the recipient
+	// derives the conversation secret from it (§5.1).
+	Sender box.PublicKey
+}
+
+// Seal builds the sealed invitation for a recipient: the sender's public
+// key encrypted to the recipient's key from a fresh ephemeral key, so the
+// wire form is unlinkable to the sender (§5.2: "Invitations are also
+// onion-encrypted and shuffled, so that they are unlinked from their
+// sender"; the anonymous box additionally hides the sender from the
+// recipient's server).
+func (inv *Invitation) Seal(recipient *box.PublicKey, rng io.Reader) ([]byte, error) {
+	return box.SealAnonymous(inv.Sender[:], recipient, rng)
+}
+
+// OpenInvitation attempts to decrypt one sealed invitation with the
+// recipient's key pair. Clients call this on every invitation in their
+// downloaded bucket (§5.1: "tries to decrypt every invitation to find any
+// that are meant for them").
+func OpenInvitation(sealed []byte, recipientPub *box.PublicKey, recipientPriv *box.PrivateKey) (*Invitation, bool) {
+	if len(sealed) != InvitationSize {
+		return nil, false
+	}
+	pt, err := box.OpenAnonymous(sealed, recipientPub, recipientPriv)
+	if err != nil || len(pt) != InvitationPayloadSize {
+		return nil, false
+	}
+	var inv Invitation
+	copy(inv.Sender[:], pt)
+	return &inv, true
+}
+
+// Request is the innermost dialing request processed by the last server:
+// deposit Sealed into invitation bucket Bucket.
+type Request struct {
+	Bucket uint32
+	Sealed [InvitationSize]byte
+}
+
+// Marshal encodes the request into its fixed wire form.
+func (r *Request) Marshal() []byte {
+	out := make([]byte, RequestSize)
+	binary.BigEndian.PutUint32(out[:bucketPrefix], r.Bucket)
+	copy(out[bucketPrefix:], r.Sealed[:])
+	return out
+}
+
+// ParseRequest decodes a fixed-size dialing request.
+func ParseRequest(b []byte) (*Request, error) {
+	if len(b) != RequestSize {
+		return nil, ErrBadRequest
+	}
+	var r Request
+	r.Bucket = binary.BigEndian.Uint32(b[:bucketPrefix])
+	copy(r.Sealed[:], b[bucketPrefix:])
+	return &r, nil
+}
+
+// BuildRequest assembles a client's dialing request for a round. If
+// recipient is non-nil, it seals an invitation carrying senderPub to the
+// recipient's bucket; if recipient is nil it builds the idle request: a
+// random (undecryptable) invitation addressed to the no-op bucket, so
+// dialing and idling are indistinguishable upstream of the last server.
+func BuildRequest(senderPub *box.PublicKey, recipient *box.PublicKey, m uint32, rng io.Reader) (*Request, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var req Request
+	if recipient == nil {
+		req.Bucket = NoOpBucket
+		if _, err := io.ReadFull(rng, req.Sealed[:]); err != nil {
+			return nil, err
+		}
+		return &req, nil
+	}
+	inv := Invitation{Sender: *senderPub}
+	sealed, err := inv.Seal(recipient, rng)
+	if err != nil {
+		return nil, err
+	}
+	req.Bucket = BucketOf(recipient, m)
+	copy(req.Sealed[:], sealed)
+	return &req, nil
+}
+
+// Buckets holds one dialing round's published invitation dead drops:
+// Buckets[i] is the concatenation of all InvitationSize-byte invitations
+// (real and noise) deposited into bucket i.
+type Buckets struct {
+	Round uint64
+	M     uint32
+	Data  [][]byte
+}
+
+// Invitations returns bucket i's invitations split into fixed-size
+// entries.
+func (b *Buckets) Invitations(i uint32) [][]byte {
+	if i >= uint32(len(b.Data)) {
+		return nil
+	}
+	blob := b.Data[i]
+	n := len(blob) / InvitationSize
+	out := make([][]byte, 0, n)
+	for j := 0; j < n; j++ {
+		out = append(out, blob[j*InvitationSize:(j+1)*InvitationSize])
+	}
+	return out
+}
+
+// Service is the last server's dialing round processor: it files each
+// request's invitation into its bucket, discards no-op requests, and adds
+// the last server's own per-bucket noise (§5.3: "every server (including
+// the last one) must add a random number of noise invitations to every
+// invitation dead drop").
+type Service struct {
+	// Noise is the per-bucket noise distribution.
+	Noise noise.Distribution
+	// Src is the Laplace randomness source; nil means crypto/rand.
+	Src noise.Source
+	// Rand supplies noise invitation bytes; nil means crypto/rand.
+	Rand io.Reader
+}
+
+// Process files one round's innermost dialing requests into m buckets and
+// returns the published buckets. Malformed requests and out-of-range
+// buckets are discarded (out-of-range includes the no-op bucket).
+func (s Service) Process(round uint64, m uint32, requests [][]byte) *Buckets {
+	rng := s.Rand
+	if rng == nil {
+		rng = rand.Reader
+	}
+	data := make([][]byte, m)
+	for _, b := range requests {
+		req, err := ParseRequest(b)
+		if err != nil || req.Bucket >= m {
+			continue
+		}
+		data[req.Bucket] = append(data[req.Bucket], req.Sealed[:]...)
+	}
+	// Last server's own noise, directly into each bucket.
+	if s.Noise != nil {
+		for i := uint32(0); i < m; i++ {
+			n := s.Noise.Sample(s.Src)
+			blob := make([]byte, n*InvitationSize)
+			if _, err := io.ReadFull(rng, blob); err != nil {
+				panic("dial: randomness source failed: " + err.Error())
+			}
+			data[i] = append(data[i], blob...)
+		}
+	}
+	return &Buckets{Round: round, M: m, Data: data}
+}
+
+// NoiseGen generates a mixing server's dialing cover traffic: for each of
+// the m buckets, ⌈max(0,Laplace(µ,b))⌉ noise invitations as innermost
+// requests (to be onion-wrapped for the downstream chain), so that the
+// bucket sizes observable at the last server are noised (§5.3).
+type NoiseGen struct {
+	Dist noise.Distribution
+	Src  noise.Source
+	Rand io.Reader
+}
+
+// Generate returns the round's noise requests for m buckets.
+func (g NoiseGen) Generate(m uint32) [][]byte {
+	rng := g.Rand
+	if rng == nil {
+		rng = rand.Reader
+	}
+	var out [][]byte
+	for i := uint32(0); i < m; i++ {
+		n := g.Dist.Sample(g.Src)
+		for j := 0; j < n; j++ {
+			req := Request{Bucket: i}
+			if _, err := io.ReadFull(rng, req.Sealed[:]); err != nil {
+				panic("dial: randomness source failed: " + err.Error())
+			}
+			out = append(out, req.Marshal())
+		}
+	}
+	return out
+}
+
+// ScanBucket trial-decrypts every invitation in a downloaded bucket and
+// returns those addressed to the recipient.
+func ScanBucket(bucket [][]byte, recipientPub *box.PublicKey, recipientPriv *box.PrivateKey) []*Invitation {
+	var out []*Invitation
+	for _, sealed := range bucket {
+		if inv, ok := OpenInvitation(sealed, recipientPub, recipientPriv); ok {
+			out = append(out, inv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package dial
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/noise"
+)
+
+func TestInvitationSize(t *testing.T) {
+	// Paper §8.1: invitations are 80 bytes including 48 bytes of overhead.
+	if InvitationSize != 80 {
+		t.Fatalf("InvitationSize = %d, want 80", InvitationSize)
+	}
+}
+
+func TestBucketOfStableAndBounded(t *testing.T) {
+	pk, _ := box.KeyPairFromSeed([]byte("u1"))
+	for _, m := range []uint32{1, 2, 7, 1000} {
+		b1 := BucketOf(&pk, m)
+		b2 := BucketOf(&pk, m)
+		if b1 != b2 {
+			t.Fatal("bucket not deterministic")
+		}
+		if b1 >= m {
+			t.Fatalf("bucket %d out of range m=%d", b1, m)
+		}
+	}
+	if BucketOf(&pk, 0) != 0 {
+		t.Fatal("m=0 should degrade to bucket 0")
+	}
+}
+
+func TestBucketDistribution(t *testing.T) {
+	const m = 8
+	counts := make([]int, m)
+	for i := 0; i < 4000; i++ {
+		pk, _ := box.KeyPairFromSeed([]byte{byte(i), byte(i >> 8), 'd'})
+		counts[BucketOf(&pk, m)]++
+	}
+	for i, c := range counts {
+		if c < 300 || c > 700 {
+			t.Fatalf("bucket %d has %d of 4000 keys; distribution skewed", i, c)
+		}
+	}
+}
+
+func TestOptimalBuckets(t *testing.T) {
+	// §8.1's configuration: 1M users, 5% dialing, µ=13,000 → m = 3.
+	if m := OptimalBuckets(1000000, 0.05, 13000); m != 3 {
+		t.Fatalf("OptimalBuckets(1M, 5%%, 13K) = %d, want 3", m)
+	}
+	// §7: at small scale the optimal number of dead drops is one.
+	if m := OptimalBuckets(100, 0.05, 13000); m != 1 {
+		t.Fatalf("OptimalBuckets(100, ...) = %d, want 1", m)
+	}
+	if m := OptimalBuckets(0, 0, 0); m != 1 {
+		t.Fatalf("degenerate OptimalBuckets = %d, want 1", m)
+	}
+}
+
+func TestInvitationRoundTrip(t *testing.T) {
+	senderPub, _ := box.KeyPairFromSeed([]byte("caller"))
+	rPub, rPriv := box.KeyPairFromSeed([]byte("callee"))
+
+	inv := Invitation{Sender: senderPub}
+	sealed, err := inv.Seal(&rPub, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != InvitationSize {
+		t.Fatalf("sealed size %d, want %d", len(sealed), InvitationSize)
+	}
+	got, ok := OpenInvitation(sealed, &rPub, &rPriv)
+	if !ok {
+		t.Fatal("recipient failed to open invitation")
+	}
+	if got.Sender != senderPub {
+		t.Fatal("sender key mismatch")
+	}
+
+	// A different user cannot open it.
+	oPub, oPriv := box.KeyPairFromSeed([]byte("other"))
+	if _, ok := OpenInvitation(sealed, &oPub, &oPriv); ok {
+		t.Fatal("wrong recipient opened invitation")
+	}
+}
+
+func TestRequestMarshalParse(t *testing.T) {
+	var req Request
+	req.Bucket = 42
+	for i := range req.Sealed {
+		req.Sealed[i] = byte(i)
+	}
+	wire := req.Marshal()
+	if len(wire) != RequestSize {
+		t.Fatalf("wire size %d", len(wire))
+	}
+	back, err := ParseRequest(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bucket != 42 || back.Sealed != req.Sealed {
+		t.Fatal("roundtrip mismatch")
+	}
+	if _, err := ParseRequest(wire[1:]); err == nil {
+		t.Fatal("short request accepted")
+	}
+}
+
+func TestBuildRequestRealAndIdle(t *testing.T) {
+	senderPub, _ := box.KeyPairFromSeed([]byte("caller"))
+	rPub, rPriv := box.KeyPairFromSeed([]byte("callee"))
+	const m = 4
+
+	real, err := BuildRequest(&senderPub, &rPub, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.Bucket != BucketOf(&rPub, m) {
+		t.Fatal("real request targets wrong bucket")
+	}
+	if inv, ok := OpenInvitation(real.Sealed[:], &rPub, &rPriv); !ok || inv.Sender != senderPub {
+		t.Fatal("recipient cannot open built invitation")
+	}
+
+	idle, err := BuildRequest(&senderPub, nil, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.Bucket != NoOpBucket {
+		t.Fatal("idle request not addressed to no-op bucket")
+	}
+	if len(idle.Marshal()) != len(real.Marshal()) {
+		t.Fatal("idle and real requests differ in size")
+	}
+}
+
+// TestServiceFilesAndDiscards: requests land in their buckets; no-ops and
+// malformed requests are discarded; last-server noise lands in every
+// bucket.
+func TestServiceFilesAndDiscards(t *testing.T) {
+	senderPub, _ := box.KeyPairFromSeed([]byte("caller"))
+	rPub, rPriv := box.KeyPairFromSeed([]byte("callee"))
+	const m = 3
+
+	real, _ := BuildRequest(&senderPub, &rPub, m, nil)
+	idle, _ := BuildRequest(&senderPub, nil, m, nil)
+
+	svc := Service{Noise: noise.Fixed{N: 2}, Rand: rand.New(rand.NewSource(1))}
+	buckets := svc.Process(7, m, [][]byte{real.Marshal(), idle.Marshal(), {1, 2, 3}})
+
+	if buckets.Round != 7 || buckets.M != m {
+		t.Fatal("bucket metadata wrong")
+	}
+	for i := uint32(0); i < m; i++ {
+		invs := buckets.Invitations(i)
+		want := 2 // last-server noise
+		if i == real.Bucket {
+			want++
+		}
+		if len(invs) != want {
+			t.Fatalf("bucket %d has %d invitations, want %d", i, len(invs), want)
+		}
+	}
+
+	// The recipient finds exactly one real invitation in its bucket.
+	found := ScanBucket(buckets.Invitations(real.Bucket), &rPub, &rPriv)
+	if len(found) != 1 || found[0].Sender != senderPub {
+		t.Fatalf("recipient found %d invitations", len(found))
+	}
+	// Out-of-range bucket access is empty.
+	if got := buckets.Invitations(m + 5); got != nil {
+		t.Fatal("out-of-range bucket not empty")
+	}
+}
+
+// TestNoiseGenPerBucket: each bucket receives its own Laplace draw of
+// noise invitations with correct wire form.
+func TestNoiseGenPerBucket(t *testing.T) {
+	g := NoiseGen{Dist: noise.Fixed{N: 3}, Rand: rand.New(rand.NewSource(2))}
+	const m = 4
+	reqs := g.Generate(m)
+	if len(reqs) != 3*m {
+		t.Fatalf("got %d noise requests, want %d", len(reqs), 3*m)
+	}
+	perBucket := map[uint32]int{}
+	for _, b := range reqs {
+		req, err := ParseRequest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perBucket[req.Bucket]++
+	}
+	for i := uint32(0); i < m; i++ {
+		if perBucket[i] != 3 {
+			t.Fatalf("bucket %d got %d noise invitations, want 3", i, perBucket[i])
+		}
+	}
+}
+
+// TestNoiseUndecryptable: noise invitations never open for a real user.
+func TestNoiseUndecryptable(t *testing.T) {
+	g := NoiseGen{Dist: noise.Fixed{N: 20}, Rand: rand.New(rand.NewSource(3))}
+	reqs := g.Generate(1)
+	rPub, rPriv := box.KeyPairFromSeed([]byte("callee"))
+	for _, b := range reqs {
+		req, _ := ParseRequest(b)
+		if _, ok := OpenInvitation(req.Sealed[:], &rPub, &rPriv); ok {
+			t.Fatal("noise invitation decrypted successfully")
+		}
+	}
+}
+
+// TestScanBucketMixed: the recipient picks out exactly its invitations
+// from a bucket mixing real (for it), real (for others), and noise.
+func TestScanBucketMixed(t *testing.T) {
+	s1Pub, _ := box.KeyPairFromSeed([]byte("caller-1"))
+	s2Pub, _ := box.KeyPairFromSeed([]byte("caller-2"))
+	rPub, rPriv := box.KeyPairFromSeed([]byte("callee"))
+	oPub, _ := box.KeyPairFromSeed([]byte("someone-else"))
+
+	var bucket [][]byte
+	for _, s := range []box.PublicKey{s1Pub, s2Pub} {
+		inv := Invitation{Sender: s}
+		sealed, err := inv.Seal(&rPub, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bucket = append(bucket, sealed)
+	}
+	other := Invitation{Sender: s1Pub}
+	sealedOther, _ := other.Seal(&oPub, nil)
+	bucket = append(bucket, sealedOther)
+	bucket = append(bucket, bytes.Repeat([]byte{0xab}, InvitationSize)) // noise
+
+	found := ScanBucket(bucket, &rPub, &rPriv)
+	if len(found) != 2 {
+		t.Fatalf("found %d invitations, want 2", len(found))
+	}
+	if found[0].Sender != s1Pub || found[1].Sender != s2Pub {
+		t.Fatal("wrong senders recovered")
+	}
+}
+
+func BenchmarkSealInvitation(b *testing.B) {
+	senderPub, _ := box.KeyPairFromSeed([]byte("caller"))
+	rPub, _ := box.KeyPairFromSeed([]byte("callee"))
+	inv := Invitation{Sender: senderPub}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := inv.Seal(&rPub, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanBucket100(b *testing.B) {
+	rPub, rPriv := box.KeyPairFromSeed([]byte("callee"))
+	senderPub, _ := box.KeyPairFromSeed([]byte("caller"))
+	var bucket [][]byte
+	for i := 0; i < 99; i++ {
+		bucket = append(bucket, bytes.Repeat([]byte{byte(i)}, InvitationSize))
+	}
+	inv := Invitation{Sender: senderPub}
+	sealed, _ := inv.Seal(&rPub, nil)
+	bucket = append(bucket, sealed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ScanBucket(bucket, &rPub, &rPriv); len(got) != 1 {
+			b.Fatal("scan failed")
+		}
+	}
+}

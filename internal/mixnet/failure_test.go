@@ -1,0 +1,187 @@
+package mixnet
+
+import (
+	"bytes"
+	"testing"
+
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// TestSuccessorRestartRedial: a mixing server survives its successor
+// restarting between rounds — the lazy redial path.
+func TestSuccessorRestartRedial(t *testing.T) {
+	net := transport.NewMem()
+	pubs, privs, err := NewChainKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	startLast := func() (*Server, func()) {
+		srv, err := NewServer(Config{
+			Position: 1, ChainPubs: pubs, Priv: privs[1],
+			AllowRoundReuse: true, // restarted process loses round state anyway
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("last")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		return srv, func() { l.Close(); srv.Close() }
+	}
+
+	first, err := NewServer(Config{
+		Position: 0, ChainPubs: pubs, Priv: privs[0],
+		ConvoNoise: noise.Fixed{N: 1},
+		Net:        net, NextAddr: "last",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+
+	_, stop := startLast()
+	alice := newUser(t, "alice")
+
+	o1, _, _ := alice.convoOnion(t, 1, pubs, nil, nil)
+	if _, err := first.ConvoRound(1, [][]byte{o1}); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+
+	// Restart the successor: old connection is now dead.
+	stop()
+	_, stop2 := startLast()
+	defer stop2()
+
+	o2, _, _ := alice.convoOnion(t, 2, pubs, nil, nil)
+	if _, err := first.ConvoRound(2, [][]byte{o2}); err != nil {
+		t.Fatalf("round 2 after successor restart: %v", err)
+	}
+}
+
+// TestSuccessorGoneFailsCleanly: with the successor permanently gone the
+// round errors instead of hanging.
+func TestSuccessorGoneFailsCleanly(t *testing.T) {
+	net := transport.NewMem()
+	pubs, privs, err := NewChainKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := NewServer(Config{
+		Position: 0, ChainPubs: pubs, Priv: privs[0],
+		Net: net, NextAddr: "nowhere",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	alice := newUser(t, "alice")
+	o, _, _ := alice.convoOnion(t, 1, pubs, nil, nil)
+	if _, err := first.ConvoRound(1, [][]byte{o}); err == nil {
+		t.Fatal("round with unreachable successor succeeded")
+	}
+}
+
+// evilConn simulates a compromised successor returning a wrong-sized
+// reply batch; the honest server must reject it rather than misalign
+// replies across users.
+func TestReplyCountMismatchRejected(t *testing.T) {
+	net := transport.NewMem()
+	pubs, privs, err := NewChainKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		raw, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn := wire.NewConn(raw)
+		defer conn.Close()
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			// Echo back one reply too few.
+			body := msg.Body
+			if len(body) > 0 {
+				body = body[:len(body)-1]
+			}
+			conn.Send(&wire.Message{Kind: wire.KindReplies, Proto: msg.Proto, Round: msg.Round, Body: body})
+		}
+	}()
+
+	first, err := NewServer(Config{
+		Position: 0, ChainPubs: pubs, Priv: privs[0],
+		ConvoNoise: noise.Fixed{N: 0},
+		Net:        net, NextAddr: "evil",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+
+	alice := newUser(t, "alice")
+	o, _, _ := alice.convoOnion(t, 1, pubs, nil, nil)
+	if _, err := first.ConvoRound(1, [][]byte{o, o}); err == nil {
+		t.Fatal("mismatched reply batch accepted")
+	}
+}
+
+// TestAllOnionsMalformed: a round of pure garbage still completes with
+// fixed-size zero replies (availability under client misbehavior, §2.3).
+func TestAllOnionsMalformed(t *testing.T) {
+	servers, _, _ := localChain(t, 3, noise.Fixed{N: 1}, nil)
+	batch := [][]byte{
+		bytes.Repeat([]byte{1}, 416),
+		{},
+		bytes.Repeat([]byte{2}, 10),
+	}
+	replies, err := servers[0].ConvoRound(1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 3 {
+		t.Fatalf("%d replies", len(replies))
+	}
+	want := len(replies[0])
+	for i, r := range replies {
+		if len(r) != want {
+			t.Fatalf("reply %d size %d != %d", i, len(r), want)
+		}
+		for _, b := range r {
+			if b != 0 {
+				t.Fatalf("reply %d not zeroed", i)
+			}
+		}
+	}
+}
+
+// TestEmptyBatchRound: zero requests is a valid round (idle system keeps
+// mixing noise).
+func TestEmptyBatchRound(t *testing.T) {
+	servers, _, snk := localChain(t, 3, noise.Fixed{N: 2}, noise.Fixed{N: 1})
+	replies, err := servers[0].ConvoRound(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 0 {
+		t.Fatalf("%d replies for empty batch", len(replies))
+	}
+	if err := servers[0].DialRound(1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if snk.last() == nil {
+		t.Fatal("no buckets from empty dial round")
+	}
+}

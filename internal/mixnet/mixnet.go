@@ -1,0 +1,474 @@
+// Package mixnet implements a Vuvuzela chain server (paper §4.1, Algorithm
+// 2): it unwraps one onion layer from every request in a round, adds cover
+// traffic, shuffles, forwards the batch to the next server (or, as the
+// last server, performs the dead-drop exchange / invitation bucketing),
+// then unshuffles, strips its noise, and seals each reply on the way back.
+//
+// A server can run over the network (Serve/handleConn, speaking the wire
+// protocol to its predecessor and successor) or fully in-process via
+// NextLocal chaining, which the tests, examples, and the evaluation
+// harness use.
+package mixnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/dial"
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/onion"
+	"vuvuzela/internal/parallel"
+	"vuvuzela/internal/shuffle"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// BucketSink receives a dialing round's published buckets from the last
+// server — the CDN substrate of §5.5.
+type BucketSink interface {
+	Publish(*dial.Buckets)
+}
+
+// Config describes one chain server.
+type Config struct {
+	// Position is the server's 0-based index in the chain.
+	Position int
+	// ChainPubs holds the public keys of the whole chain, in order.
+	ChainPubs []box.PublicKey
+	// Priv is this server's private key.
+	Priv box.PrivateKey
+
+	// ConvoNoise is the conversation cover-traffic distribution
+	// (Laplace(µ, b) in production; Fixed in the paper's evaluation
+	// mode). Nil disables conversation noise — used only by the
+	// traffic-analysis experiments to demonstrate the attack the noise
+	// defeats. The last server adds no conversation noise (§8.2).
+	ConvoNoise noise.Distribution
+	// DialNoise is the per-bucket dialing noise distribution; every
+	// server including the last adds dialing noise (§5.3).
+	DialNoise noise.Distribution
+	// NoiseSrc seeds the Laplace draws (nil = crypto/rand).
+	NoiseSrc noise.Source
+	// NoiseRand supplies noise payload bytes and the shuffle permutation
+	// (nil = crypto/rand). Deterministic only in tests.
+	NoiseRand io.Reader
+
+	// Workers bounds the parallel crypto workers (0 = GOMAXPROCS).
+	Workers int
+
+	// Exactly one of the following must be set unless this is the last
+	// server: NextAddr+Net for a networked successor, or NextLocal for
+	// in-process chaining.
+	Net       transport.Network
+	NextAddr  string
+	NextLocal *Server
+
+	// Buckets receives dialing buckets if this is the last server.
+	Buckets BucketSink
+
+	// AllowRoundReuse disables the strictly-increasing round check
+	// (needed by adversary simulations that replay rounds).
+	AllowRoundReuse bool
+
+	// ConvoObserver, if set on the last server, receives the observable
+	// variables of each conversation round — the histogram of dead-drop
+	// access counts (§4.2). It models what an adversary who compromised
+	// the last server learns, and is used only by the traffic-analysis
+	// experiments.
+	ConvoObserver func(round uint64, m1, m2, more int)
+}
+
+// Server is one running chain server.
+type Server struct {
+	cfg  Config
+	last bool
+
+	mu        sync.Mutex
+	lastRound map[wire.Proto]uint64
+	next      map[wire.Proto]*wire.Conn
+
+	closed  sync.Once
+	closeCh chan struct{}
+}
+
+// Errors returned by round processing.
+var (
+	ErrRoundReplay   = errors.New("mixnet: round not newer than previous round")
+	ErrReplyMismatch = errors.New("mixnet: reply count does not match batch")
+	ErrNoSuccessor   = errors.New("mixnet: no successor configured")
+)
+
+// NewServer validates the configuration and returns a Server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Position < 0 || cfg.Position >= len(cfg.ChainPubs) {
+		return nil, fmt.Errorf("mixnet: position %d out of range for chain of %d", cfg.Position, len(cfg.ChainPubs))
+	}
+	last := cfg.Position == len(cfg.ChainPubs)-1
+	if !last && cfg.NextLocal == nil && (cfg.NextAddr == "" || cfg.Net == nil) {
+		return nil, ErrNoSuccessor
+	}
+	return &Server{
+		cfg:       cfg,
+		last:      last,
+		lastRound: make(map[wire.Proto]uint64),
+		next:      make(map[wire.Proto]*wire.Conn),
+		closeCh:   make(chan struct{}),
+	}, nil
+}
+
+// IsLast reports whether this server holds the dead drops.
+func (s *Server) IsLast() bool { return s.last }
+
+// checkRound enforces strictly increasing rounds per protocol.
+func (s *Server) checkRound(proto wire.Proto, round uint64) error {
+	if s.cfg.AllowRoundReuse {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if round <= s.lastRound[proto] {
+		return fmt.Errorf("%w: %d after %d", ErrRoundReplay, round, s.lastRound[proto])
+	}
+	s.lastRound[proto] = round
+	return nil
+}
+
+// chainLen returns the number of servers in the chain.
+func (s *Server) chainLen() int { return len(s.cfg.ChainPubs) }
+
+// ConvoRound processes one conversation round (Algorithm 2): the incoming
+// onions are this server's layer; the returned replies align with them.
+func (s *Server) ConvoRound(round uint64, onions [][]byte) ([][]byte, error) {
+	if err := s.checkRound(wire.ProtoConvo, round); err != nil {
+		return nil, err
+	}
+	p := s.cfg.Position
+	expectedReplySize := convo.SealedSize + box.Overhead*(s.chainLen()-p)
+
+	// Step 1: collect and decrypt requests.
+	inner := make([][]byte, len(onions))
+	keys := make([]*[box.KeySize]byte, len(onions))
+	parallel.For(len(onions), s.cfg.Workers, func(i int) {
+		in, k, err := onion.UnwrapLayer(onions[i], &s.cfg.Priv, round, p)
+		if err == nil {
+			inner[i], keys[i] = in, k
+		}
+	})
+	fwdIdx := make([]int, 0, len(onions))
+	fwd := make([][]byte, 0, len(onions))
+	for i := range inner {
+		if keys[i] != nil {
+			fwdIdx = append(fwdIdx, i)
+			fwd = append(fwd, inner[i])
+		}
+	}
+	nReal := len(fwd)
+
+	var replies [][]byte
+	if s.last {
+		// Step 3b: the last server matches dead drops; no noise, no
+		// shuffle (it sees the drop IDs regardless).
+		if s.cfg.ConvoObserver != nil {
+			m1, m2, more := convo.Histogram(fwd)
+			s.cfg.ConvoObserver(round, m1, m2, more)
+		}
+		replies = convo.Service{}.Process(round, fwd)
+	} else {
+		// Step 2: generate cover traffic wrapped for the rest of the
+		// chain.
+		if s.cfg.ConvoNoise != nil {
+			gen := convo.NoiseGen{Dist: s.cfg.ConvoNoise, Src: s.cfg.NoiseSrc, Rand: s.cfg.NoiseRand}
+			payloads := gen.Generate()
+			noiseOnions := make([][]byte, len(payloads))
+			var wrapErr error
+			parallel.For(len(payloads), s.cfg.Workers, func(i int) {
+				o, _, err := onion.Wrap(payloads[i], round, p+1, s.cfg.ChainPubs[p+1:], nil)
+				if err != nil {
+					wrapErr = err
+					return
+				}
+				noiseOnions[i] = o
+			})
+			if wrapErr != nil {
+				return nil, fmt.Errorf("mixnet: wrapping noise: %w", wrapErr)
+			}
+			fwd = append(fwd, noiseOnions...)
+		}
+
+		// Step 3a: shuffle and forward.
+		perm := shuffle.New(len(fwd), s.cfg.NoiseRand)
+		down, err := s.forward(wire.ProtoConvo, round, 0, perm.Apply(fwd))
+		if err != nil {
+			return nil, err
+		}
+		if len(down) != len(fwd) {
+			return nil, ErrReplyMismatch
+		}
+		// Unshuffle, then strip this server's noise replies.
+		replies = perm.Invert(down)[:nReal]
+	}
+
+	// Step 4: encrypt results and return them, aligned with the incoming
+	// batch; undecryptable requests get fixed-size zero replies so the
+	// batch shape is preserved.
+	out := make([][]byte, len(onions))
+	parallel.For(nReal, s.cfg.Workers, func(j int) {
+		i := fwdIdx[j]
+		out[i] = onion.SealReply(replies[j], keys[i], round, p)
+	})
+	for i := range out {
+		if out[i] == nil {
+			out[i] = make([]byte, expectedReplySize)
+		}
+	}
+	return out, nil
+}
+
+// DialRound processes one dialing round with m invitation buckets. The
+// dialing protocol has no reply path (§5.1: clients download their bucket
+// from the CDN), so DialRound only returns an error.
+func (s *Server) DialRound(round uint64, m uint32, onions [][]byte) error {
+	if err := s.checkRound(wire.ProtoDial, round); err != nil {
+		return err
+	}
+	p := s.cfg.Position
+
+	inner := make([][]byte, len(onions))
+	parallel.For(len(onions), s.cfg.Workers, func(i int) {
+		in, _, err := onion.UnwrapLayer(onions[i], &s.cfg.Priv, round, p)
+		if err == nil {
+			inner[i] = in
+		}
+	})
+	fwd := make([][]byte, 0, len(onions))
+	for _, in := range inner {
+		if in != nil {
+			fwd = append(fwd, in)
+		}
+	}
+
+	if s.last {
+		// File invitations into buckets; the service adds the last
+		// server's own per-bucket noise (§5.3) and the sink publishes to
+		// the CDN (§5.5).
+		svc := dial.Service{Noise: s.cfg.DialNoise, Src: s.cfg.NoiseSrc, Rand: s.cfg.NoiseRand}
+		buckets := svc.Process(round, m, fwd)
+		if s.cfg.Buckets != nil {
+			s.cfg.Buckets.Publish(buckets)
+		}
+		return nil
+	}
+
+	// Mixing servers add per-bucket noise invitations wrapped for the
+	// remaining chain.
+	if s.cfg.DialNoise != nil {
+		gen := dial.NoiseGen{Dist: s.cfg.DialNoise, Src: s.cfg.NoiseSrc, Rand: s.cfg.NoiseRand}
+		payloads := gen.Generate(m)
+		noiseOnions := make([][]byte, len(payloads))
+		var wrapErr error
+		parallel.For(len(payloads), s.cfg.Workers, func(i int) {
+			o, _, err := onion.Wrap(payloads[i], round, p+1, s.cfg.ChainPubs[p+1:], nil)
+			if err != nil {
+				wrapErr = err
+				return
+			}
+			noiseOnions[i] = o
+		})
+		if wrapErr != nil {
+			return fmt.Errorf("mixnet: wrapping dial noise: %w", wrapErr)
+		}
+		fwd = append(fwd, noiseOnions...)
+	}
+
+	perm := shuffle.New(len(fwd), s.cfg.NoiseRand)
+	_, err := s.forwardDial(round, m, perm.Apply(fwd))
+	return err
+}
+
+// forward sends a conversation batch to the successor and waits for its
+// replies.
+func (s *Server) forward(proto wire.Proto, round uint64, m uint32, batch [][]byte) ([][]byte, error) {
+	if s.cfg.NextLocal != nil {
+		return s.cfg.NextLocal.ConvoRound(round, batch)
+	}
+	return s.forwardWire(proto, round, m, batch)
+}
+
+// forwardDial sends a dialing batch to the successor.
+func (s *Server) forwardDial(round uint64, m uint32, batch [][]byte) ([][]byte, error) {
+	if s.cfg.NextLocal != nil {
+		return nil, s.cfg.NextLocal.DialRound(round, m, batch)
+	}
+	return s.forwardWire(wire.ProtoDial, round, m, batch)
+}
+
+// forwardWire performs the network RPC to the successor, lazily dialing
+// and redialing once on a stale connection.
+func (s *Server) forwardWire(proto wire.Proto, round uint64, m uint32, batch [][]byte) ([][]byte, error) {
+	for attempt := 0; ; attempt++ {
+		conn, err := s.nextConn(proto)
+		if err != nil {
+			return nil, err
+		}
+		replies, err := s.rpc(conn, proto, round, m, batch)
+		if err == nil {
+			return replies, nil
+		}
+		s.dropConn(proto, conn)
+		if attempt == 1 {
+			return nil, fmt.Errorf("mixnet: forwarding to %s: %w", s.cfg.NextAddr, err)
+		}
+	}
+}
+
+func (s *Server) rpc(conn *wire.Conn, proto wire.Proto, round uint64, m uint32, batch [][]byte) ([][]byte, error) {
+	msg := &wire.Message{Kind: wire.KindBatch, Proto: proto, Round: round, M: m, Body: batch}
+	if err := conn.Send(msg); err != nil {
+		return nil, err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindReplies || resp.Proto != proto || resp.Round != round {
+		return nil, fmt.Errorf("mixnet: unexpected response kind=%d proto=%d round=%d", resp.Kind, resp.Proto, resp.Round)
+	}
+	return resp.Body, nil
+}
+
+func (s *Server) nextConn(proto wire.Proto) (*wire.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.next[proto]; c != nil {
+		return c, nil
+	}
+	raw, err := s.cfg.Net.Dial(s.cfg.NextAddr)
+	if err != nil {
+		return nil, fmt.Errorf("mixnet: dialing successor %s: %w", s.cfg.NextAddr, err)
+	}
+	c := wire.NewConn(raw)
+	s.next[proto] = c
+	return c, nil
+}
+
+func (s *Server) dropConn(proto wire.Proto, conn *wire.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next[proto] == conn {
+		conn.Close()
+		delete(s.next, proto)
+	}
+}
+
+// Serve accepts connections from the predecessor (or the entry server for
+// server 0) and processes batches until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closeCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		go s.handleConn(wire.NewConn(raw))
+	}
+}
+
+func (s *Server) handleConn(c *wire.Conn) {
+	defer c.Close()
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return
+		}
+		if msg.Kind != wire.KindBatch {
+			return
+		}
+		resp := &wire.Message{Kind: wire.KindReplies, Proto: msg.Proto, Round: msg.Round}
+		switch msg.Proto {
+		case wire.ProtoConvo:
+			replies, err := s.ConvoRound(msg.Round, msg.Body)
+			if err != nil {
+				return
+			}
+			resp.Body = replies
+		case wire.ProtoDial:
+			if err := s.DialRound(msg.Round, msg.M, msg.Body); err != nil {
+				return
+			}
+		default:
+			return
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts down successor connections; a Serve loop returns after its
+// listener is closed by the caller.
+func (s *Server) Close() error {
+	s.closed.Do(func() {
+		close(s.closeCh)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for proto, c := range s.next {
+			c.Close()
+			delete(s.next, proto)
+		}
+	})
+	return nil
+}
+
+// NewChainKeys generates a fresh key chain of n servers, returning the
+// public chain and each server's private key. Used by tests, examples,
+// and the keygen tool.
+func NewChainKeys(n int) ([]box.PublicKey, []box.PrivateKey, error) {
+	pubs := make([]box.PublicKey, n)
+	privs := make([]box.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		pub, priv, err := box.GenerateKey(nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		pubs[i], privs[i] = pub, priv
+	}
+	return pubs, privs, nil
+}
+
+// NewLocalChain builds an in-process chain of servers from per-server
+// configs templated by base: position i feeds position i+1 directly. The
+// base's Position, NextLocal, and Buckets fields are overridden as needed;
+// bucketSink is attached to the last server.
+func NewLocalChain(pubs []box.PublicKey, privs []box.PrivateKey, base Config, bucketSink BucketSink) ([]*Server, error) {
+	n := len(pubs)
+	servers := make([]*Server, n)
+	for i := n - 1; i >= 0; i-- {
+		cfg := base
+		cfg.Position = i
+		cfg.ChainPubs = pubs
+		cfg.Priv = privs[i]
+		cfg.Net = nil
+		cfg.NextAddr = ""
+		if i == n-1 {
+			cfg.Buckets = bucketSink
+		} else {
+			cfg.NextLocal = servers[i+1]
+			cfg.Buckets = nil
+		}
+		srv, err := NewServer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = srv
+	}
+	return servers, nil
+}

@@ -1,0 +1,56 @@
+package onion
+
+import (
+	"testing"
+
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/dial"
+)
+
+// TestPaperWireSizes pins the exact on-the-wire sizes implied by the
+// paper's parameters (§8.1): 256-byte sealed conversation messages,
+// 272-byte exchange requests, 80-byte invitations, and 48 bytes of onion
+// overhead per server.
+func TestPaperWireSizes(t *testing.T) {
+	if convo.SealedSize != 256 {
+		t.Errorf("sealed message = %d B, paper says 256", convo.SealedSize)
+	}
+	if convo.RequestSize != 272 {
+		t.Errorf("exchange request = %d B, want 272 (16 drop + 256 sealed)", convo.RequestSize)
+	}
+	if dial.InvitationSize != 80 {
+		t.Errorf("invitation = %d B, paper says 80", dial.InvitationSize)
+	}
+	if LayerOverhead != 48 {
+		t.Errorf("onion layer overhead = %d B, want 48 (32 key + 16 MAC)", LayerOverhead)
+	}
+
+	// Full client-side conversation onion for the paper's 3-server chain.
+	if got := Size(convo.RequestSize, 3); got != 416 {
+		t.Errorf("3-server request onion = %d B, want 416", got)
+	}
+	// Reply as the client receives it: 256 + 16 per server.
+	if got := ReplySize(convo.SealedSize, 3); got != 304 {
+		t.Errorf("3-server reply = %d B, want 304", got)
+	}
+	// Dialing request onion: 4 bucket + 80 invitation + 3×48.
+	if got := Size(dial.RequestSize, 3); got != 228 {
+		t.Errorf("3-server dial onion = %d B, want 228", got)
+	}
+}
+
+// TestSizeFormulas cross-checks the size helpers against actual Wrap and
+// SealReply output across chain lengths (done with real bytes in
+// onion_test.go; here the closed forms).
+func TestSizeFormulas(t *testing.T) {
+	for layers := 0; layers <= 6; layers++ {
+		for _, payload := range []int{0, 1, 80, 272} {
+			if got := Size(payload, layers); got != payload+48*layers {
+				t.Fatalf("Size(%d,%d) = %d", payload, layers, got)
+			}
+			if got := ReplySize(payload, layers); got != payload+16*layers {
+				t.Fatalf("ReplySize(%d,%d) = %d", payload, layers, got)
+			}
+		}
+	}
+}

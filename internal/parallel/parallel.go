@@ -1,0 +1,47 @@
+// Package parallel provides the worker-pool loop used to spread a round's
+// cryptographic work (layer unwrapping, noise wrapping, reply sealing)
+// across CPU cores, mirroring the paper's 36-core servers (§8.1).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) across `workers` goroutines
+// (GOMAXPROCS if workers <= 0) and waits for completion. fn must be safe
+// for concurrent invocation on distinct indexes.
+func For(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,34 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndexes(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, w := range []int{0, 1, 2, 8, 2000} {
+			hits := make([]atomic.Int32, n)
+			For(n, w, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("n=%d w=%d: index %d hit %d times", n, w, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForSum(t *testing.T) {
+	var sum atomic.Int64
+	For(1000, 8, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 999*1000/2 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(64, 8, func(int) {})
+	}
+}

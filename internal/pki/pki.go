@@ -1,0 +1,119 @@
+// Package pki is the key-directory substrate Vuvuzela assumes (paper §2.3:
+// "two users who wish to communicate know each other's public keys"; §9
+// "PKI for dialing"). It maps human-readable usernames to long-term public
+// keys, with JSON persistence so the command-line tools can share a
+// directory. Lookups are local — contacting a key server on demand would
+// leak who a user is about to dial (§9), so clients load the directory
+// ahead of time.
+package pki
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"vuvuzela/internal/crypto/box"
+)
+
+// ErrUnknownUser indicates a name with no registered key.
+var ErrUnknownUser = errors.New("pki: unknown user")
+
+// Directory is a concurrency-safe username → public-key registry.
+type Directory struct {
+	mu    sync.RWMutex
+	users map[string]box.PublicKey
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{users: make(map[string]box.PublicKey)}
+}
+
+// Register adds or replaces a user's key.
+func (d *Directory) Register(name string, pk box.PublicKey) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.users[name] = pk
+}
+
+// Lookup returns a user's key.
+func (d *Directory) Lookup(name string) (box.PublicKey, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	pk, ok := d.users[name]
+	if !ok {
+		return box.PublicKey{}, fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	return pk, nil
+}
+
+// NameOf reverse-maps a public key to its registered name (used to label
+// incoming invitations, §9: "the recipient needs to identify who is
+// calling, based on the caller's public key").
+func (d *Directory) NameOf(pk box.PublicKey) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for name, k := range d.users {
+		if k == pk {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Names returns all registered usernames, sorted.
+func (d *Directory) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.users))
+	for name := range d.users {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fileForm is the JSON persistence format: name → hex public key.
+type fileForm map[string]string
+
+// Save writes the directory to a JSON file.
+func (d *Directory) Save(path string) error {
+	d.mu.RLock()
+	ff := make(fileForm, len(d.users))
+	for name, pk := range d.users {
+		ff[name] = hex.EncodeToString(pk[:])
+	}
+	d.mu.RUnlock()
+	data, err := json.MarshalIndent(ff, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a directory from a JSON file written by Save.
+func Load(path string) (*Directory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ff fileForm
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("pki: parsing %s: %w", path, err)
+	}
+	d := NewDirectory()
+	for name, hexKey := range ff {
+		raw, err := hex.DecodeString(hexKey)
+		if err != nil || len(raw) != box.KeySize {
+			return nil, fmt.Errorf("pki: bad key for %q in %s", name, path)
+		}
+		var pk box.PublicKey
+		copy(pk[:], raw)
+		d.users[name] = pk
+	}
+	return d, nil
+}

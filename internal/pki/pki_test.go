@@ -1,0 +1,104 @@
+package pki
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vuvuzela/internal/crypto/box"
+)
+
+func TestRegisterLookup(t *testing.T) {
+	d := NewDirectory()
+	pk, _ := box.KeyPairFromSeed([]byte("alice"))
+	d.Register("alice", pk)
+
+	got, err := d.Lookup("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pk {
+		t.Fatal("key mismatch")
+	}
+	if _, err := d.Lookup("nobody"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("want ErrUnknownUser, got %v", err)
+	}
+}
+
+func TestNameOf(t *testing.T) {
+	d := NewDirectory()
+	apk, _ := box.KeyPairFromSeed([]byte("alice"))
+	bpk, _ := box.KeyPairFromSeed([]byte("bob"))
+	d.Register("alice", apk)
+	d.Register("bob", bpk)
+
+	if name, ok := d.NameOf(bpk); !ok || name != "bob" {
+		t.Fatalf("NameOf = %q %v", name, ok)
+	}
+	unknown, _ := box.KeyPairFromSeed([]byte("stranger"))
+	if _, ok := d.NameOf(unknown); ok {
+		t.Fatal("unknown key resolved")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	d := NewDirectory()
+	for _, n := range []string{"zed", "alice", "mike"} {
+		pk, _ := box.KeyPairFromSeed([]byte(n))
+		d.Register(n, pk)
+	}
+	names := d.Names()
+	if len(names) != 3 || names[0] != "alice" || names[1] != "mike" || names[2] != "zed" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	d := NewDirectory()
+	apk, _ := box.KeyPairFromSeed([]byte("alice"))
+	bpk, _ := box.KeyPairFromSeed([]byte("bob"))
+	d.Register("alice", apk)
+	d.Register("bob", bpk)
+
+	path := filepath.Join(t.TempDir(), "users.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alice", "bob"} {
+		want, _ := d.Lookup(name)
+		got, err := back.Lookup(name)
+		if err != nil || got != want {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, `{"alice": "zznothex"}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("bad hex key accepted")
+	}
+	notJSON := filepath.Join(dir, "notjson.json")
+	if err := writeFile(notJSON, "not json at all"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(notJSON); err == nil {
+		t.Fatal("non-JSON file accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

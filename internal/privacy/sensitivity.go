@@ -1,0 +1,136 @@
+package privacy
+
+import "fmt"
+
+// This file regenerates Figure 6 of the paper computationally: the change
+// in the observable variables (m1, m2) — the counts of dead drops accessed
+// once and twice — between a user's real action and her cover story.
+//
+// The environment holds all other users' behaviour fixed (adjacent inputs
+// differ only in Alice's actions, Definition 1): users b and c direct
+// their exchanges at the dead drop they share with Alice; users x and y
+// access dead drops unrelated to Alice.
+
+// Action is one of Alice's possible per-round actions.
+type Action int
+
+// Actions enumerated in Figure 6. "ConvB"/"ConvC" are exchanges with users
+// who reciprocate; "ConvX"/"ConvY" are exchanges with users who do not.
+const (
+	Idle Action = iota
+	ConvB
+	ConvC
+	ConvX
+	ConvY
+)
+
+// String returns the Figure 6 row/column label.
+func (a Action) String() string {
+	switch a {
+	case Idle:
+		return "Idle"
+	case ConvB:
+		return "Conversation with b"
+	case ConvC:
+		return "Conversation with c"
+	case ConvX:
+		return "Conversation with x"
+	case ConvY:
+		return "Conversation with y"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// histogram returns the (m1, m2) contribution of the dead drops involving
+// Alice, b, and c under Alice's action. Users x and y access unrelated
+// drops whose contribution is constant across actions and therefore
+// cancels in differences; it is omitted.
+func histogram(a Action) (m1, m2 int) {
+	// Access counts per dead drop.
+	drops := map[string]int{
+		"alice-b": 1, // b always exchanges on the drop shared with Alice
+		"alice-c": 1, // c likewise
+	}
+	switch a {
+	case Idle:
+		drops["alice-random"]++ // fake request to a random drop (Alg. 1 step 1b)
+	case ConvB:
+		drops["alice-b"]++
+	case ConvC:
+		drops["alice-c"]++
+	case ConvX:
+		drops["alice-x"]++ // x does not reciprocate: Alice is alone there
+	case ConvY:
+		drops["alice-y"]++
+	}
+	for _, n := range drops {
+		switch n {
+		case 1:
+			m1++
+		case 2:
+			m2++
+		}
+	}
+	return m1, m2
+}
+
+// Delta is one Figure 6 table entry: the difference (real − cover) in m1
+// and m2.
+type Delta struct {
+	M1 int
+	M2 int
+}
+
+// SensitivityEntry computes one cell of Figure 6: how m1 and m2 differ
+// between Alice's real action and her cover story.
+func SensitivityEntry(real, cover Action) Delta {
+	rm1, rm2 := histogram(real)
+	cm1, cm2 := histogram(cover)
+	return Delta{M1: rm1 - cm1, M2: rm2 - cm2}
+}
+
+// Figure6Rows and Figure6Cols are the cover stories (rows) and real
+// actions (columns) of the paper's table, in its order.
+var (
+	Figure6Rows = []Action{Idle, ConvB, ConvC, ConvX, ConvY}
+	Figure6Cols = []Action{Idle, ConvB, ConvX}
+)
+
+// SensitivityTable regenerates Figure 6: rows are cover stories, columns
+// are real actions.
+func SensitivityTable() [][]Delta {
+	table := make([][]Delta, len(Figure6Rows))
+	for i, cover := range Figure6Rows {
+		table[i] = make([]Delta, len(Figure6Cols))
+		for j, real := range Figure6Cols {
+			table[i][j] = SensitivityEntry(real, cover)
+		}
+	}
+	return table
+}
+
+// MaxSensitivity returns the maximum |Δm1| and |Δm2| over every pair of
+// (real action, cover story) — the sensitivity bound Theorem 1 relies on
+// (|Δm1| ≤ 2, |Δm2| ≤ 1).
+func MaxSensitivity() (m1, m2 int) {
+	all := []Action{Idle, ConvB, ConvC, ConvX, ConvY}
+	for _, real := range all {
+		for _, cover := range all {
+			d := SensitivityEntry(real, cover)
+			if abs(d.M1) > m1 {
+				m1 = abs(d.M1)
+			}
+			if abs(d.M2) > m2 {
+				m2 = abs(d.M2)
+			}
+		}
+	}
+	return m1, m2
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,72 @@
+// Package shuffle implements the cryptographically random permutations
+// each mixing server applies to a round's requests (paper §4.1, Algorithm
+// 2 step 3a) and their inverses for the reply path.
+package shuffle
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"io"
+)
+
+// Permutation maps source index → destination index: applying p moves
+// element i to position p[i].
+type Permutation []int
+
+// New draws a uniformly random permutation of n elements via Fisher-Yates,
+// reading randomness from rng (crypto/rand.Reader if nil). Modulo bias is
+// eliminated by rejection sampling.
+func New(n int, rng io.Reader) Permutation {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := uniformInt(rng, i+1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// uniformInt returns a uniform integer in [0, n) without modulo bias.
+func uniformInt(rng io.Reader, n int) int {
+	max := uint64(n)
+	// Largest multiple of n that fits in a uint64.
+	limit := (^uint64(0) / max) * max
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(rng, buf[:]); err != nil {
+			// A server that cannot shuffle randomly must not proceed:
+			// a predictable permutation voids the mixnet property.
+			panic("shuffle: randomness source failed: " + err.Error())
+		}
+		v := binary.BigEndian.Uint64(buf[:])
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Apply permutes src into a new slice: out[p[i]] = src[i].
+func (p Permutation) Apply(src [][]byte) [][]byte {
+	out := make([][]byte, len(src))
+	for i, v := range src {
+		out[p[i]] = v
+	}
+	return out
+}
+
+// Invert undoes Apply: given out with out[p[i]] = src[i], it recovers src.
+// Servers use this to restore reply order before stripping their noise
+// (Algorithm 2 step 3a: "unshuffles them by applying the inverse
+// permutation").
+func (p Permutation) Invert(shuffled [][]byte) [][]byte {
+	out := make([][]byte, len(shuffled))
+	for i := range out {
+		out[i] = shuffled[p[i]]
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package shuffle
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := New(n, nil)
+		if len(p) != n {
+			t.Fatalf("n=%d: length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("n=%d: not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestApplyInvertRoundTrip(t *testing.T) {
+	src := make([][]byte, 50)
+	for i := range src {
+		src[i] = []byte{byte(i)}
+	}
+	p := New(len(src), nil)
+	shuffled := p.Apply(src)
+	back := p.Invert(shuffled)
+	for i := range src {
+		if !bytes.Equal(back[i], src[i]) {
+			t.Fatalf("roundtrip failed at %d", i)
+		}
+	}
+}
+
+// TestApplyMovesElements: with a deterministic source, apply actually
+// permutes (probability of identity for n=100 is negligible).
+func TestApplyMovesElements(t *testing.T) {
+	src := make([][]byte, 100)
+	for i := range src {
+		src[i] = []byte{byte(i)}
+	}
+	p := New(len(src), rand.New(rand.NewSource(1)))
+	shuffled := p.Apply(src)
+	same := 0
+	for i := range src {
+		if bytes.Equal(shuffled[i], src[i]) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("%d elements unmoved; permutation suspicious", same)
+	}
+}
+
+// TestUniformity: over many draws of permutations of 4 elements, each of
+// the 24 orderings appears with roughly equal frequency (chi-square style
+// bound).
+func TestUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	counts := map[[4]int]int{}
+	const trials = 24000
+	for i := 0; i < trials; i++ {
+		p := New(4, rng)
+		var key [4]int
+		copy(key[:], p)
+		counts[key]++
+	}
+	if len(counts) != 24 {
+		t.Fatalf("saw %d of 24 permutations", len(counts))
+	}
+	want := trials / 24
+	for k, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("permutation %v count %d, want ≈ %d", k, c, want)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data [][]byte, seed int64) bool {
+		p := New(len(data), rand.New(rand.NewSource(seed)))
+		back := p.Invert(p.Apply(data))
+		for i := range data {
+			if !bytes.Equal(back[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNew100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		New(100000, nil)
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/dial"
+	"vuvuzela/internal/onion"
+)
+
+// This file reproduces the paper's bandwidth accounting (§8.3 and §1)
+// analytically from the implemented wire formats — the same arithmetic the
+// paper does, but derived from this codebase's actual message sizes.
+
+// ConvoClientBytesPerRound returns the bytes a client sends and receives
+// per conversation round through a chain of the given length: one
+// fixed-size onion each way. (§8.3: "each client sends and downloads a
+// 256-byte message per round" — plus onion overhead.)
+func ConvoClientBytesPerRound(servers int) (up, down int) {
+	up = onion.Size(convo.RequestSize, servers)
+	down = onion.ReplySize(convo.SealedSize, servers)
+	return up, down
+}
+
+// DialBucketBytes returns one invitation dead drop's size for a round:
+// noise invitations from every server (s·µd on average) plus the real
+// invitations that map to the bucket (users·f/m). With the §8.1
+// parameters (1M users, 5% dialing, µd=13K, m=1, 3 servers) this is the
+// paper's "about 39,000 noise invitations, in addition to any real
+// invitations (for instance, 50,000 real invitations ...). This adds up
+// to a total of about 7 MB per round."
+func DialBucketBytes(users int, dialingFraction, muD float64, m uint32, servers int) int {
+	noiseInv := float64(servers) * muD
+	realInv := float64(users) * dialingFraction / float64(m)
+	return int((noiseInv + realInv) * float64(dial.InvitationSize))
+}
+
+// DialClientBytesPerSec returns a client's average invitation-download
+// rate given the dialing round period (§8.3: ≈12 KB/s at 10-minute
+// rounds).
+func DialClientBytesPerSec(users int, dialingFraction, muD float64, m uint32, servers int, roundSeconds float64) float64 {
+	return float64(DialBucketBytes(users, dialingFraction, muD, m, servers)) / roundSeconds
+}
+
+// ServerBytesPerRound returns the bytes the busiest chain server moves in
+// one conversation round: incoming batch + forwarded batch (with its
+// noise) + replies both ways. Onion size shrinks by one layer per hop;
+// replies grow by one seal per hop.
+func ServerBytesPerRound(users int, mu float64, servers int) int {
+	total := 0
+	busiest := 0
+	for j := 0; j < servers; j++ {
+		batchIn := float64(users) + 2*mu*float64(j)
+		batchOut := batchIn
+		if j < servers-1 {
+			batchOut += 2 * mu
+		}
+		inSize := onion.Size(convo.RequestSize, servers-j)
+		outSize := onion.Size(convo.RequestSize, servers-j-1)
+		replyInSize := onion.ReplySize(convo.SealedSize, servers-j-1)
+		replyOutSize := onion.ReplySize(convo.SealedSize, servers-j)
+		total = int(batchIn*float64(inSize+replyOutSize) + batchOut*float64(outSize+replyInSize))
+		if total > busiest {
+			busiest = total
+		}
+	}
+	return busiest
+}
+
+// ServerBytesPerSec returns the busiest server's average bandwidth given
+// the round period implied by pipelined throughput (§8.3: ≈166 MB/s at 1M
+// users).
+func (m CostModel) ServerBytesPerSec(users int, mu float64, servers int) float64 {
+	tput := m.ConvoThroughput(users, mu, servers)
+	if tput <= 0 {
+		return 0
+	}
+	period := float64(users) / tput
+	return float64(ServerBytesPerRound(users, mu, servers)) / period
+}
+
+// BucketPoint is one row of the §5.4 bucket-count tradeoff.
+type BucketPoint struct {
+	M uint32
+	// ClientBytes is one client's bucket download per dialing round.
+	ClientBytes int
+	// ServerNoiseInvitations is the total noise generated across the
+	// chain per round (m · µd per server).
+	ServerNoiseInvitations int
+	// LoadFactor is total processed invitations (real + noise) divided
+	// by real invitations — the paper's target at the optimal m is ≈2×
+	// ("the overall processing load on the servers is only 2× the load
+	// of the real invitations").
+	LoadFactor float64
+}
+
+// BucketTradeoff computes the §5.4 tradeoff between client download size
+// and server cover-traffic cost as the invitation dead-drop count m
+// varies. Noise per bucket is fixed by the privacy target, so more
+// buckets mean smaller downloads but more total noise.
+func BucketTradeoff(users int, dialingFraction, muD float64, servers int, ms []uint32) []BucketPoint {
+	real := float64(users) * dialingFraction
+	out := make([]BucketPoint, 0, len(ms))
+	for _, m := range ms {
+		noise := float64(servers) * muD * float64(m)
+		out = append(out, BucketPoint{
+			M:                      m,
+			ClientBytes:            DialBucketBytes(users, dialingFraction, muD, m, servers),
+			ServerNoiseInvitations: int(noise),
+			LoadFactor:             (real + noise) / real,
+		})
+	}
+	return out
+}
+
+// MonthlyClientBytes returns a client's total monthly traffic running
+// continuously: conversation rounds plus dialing downloads (§1: "adding
+// up to 30 GB over a month of continuous use").
+func MonthlyClientBytes(servers int, convoRoundSeconds float64, users int, dialingFraction, muD float64, m uint32, dialRoundSeconds float64) float64 {
+	const month = 30 * 24 * 3600.0
+	up, down := ConvoClientBytesPerRound(servers)
+	convoRate := float64(up+down) / convoRoundSeconds
+	dialRate := DialClientBytesPerSec(users, dialingFraction, muD, m, servers, dialRoundSeconds)
+	return (convoRate + dialRate) * month
+}

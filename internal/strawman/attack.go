@@ -1,0 +1,157 @@
+package strawman
+
+import (
+	"fmt"
+
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/onion"
+)
+
+// MixnetExperiment runs the §4.2 active attack against the real protocol
+// stack, in the two-world setup of Figure 2:
+//
+//	"he collects requests from all users at the first server, but then
+//	throws away all requests except those from Alice and Bob. ... If the
+//	adversary controls the third server, he can now figure out whether
+//	Alice and Bob are talking!"
+//
+// The adversary controls servers 1 and 3 of a 3-server chain; server 2 is
+// honest. The malicious first server contributes no noise and forwards
+// only Alice's and Bob's requests; the honest middle server adds
+// middleNoise cover traffic (nil reproduces the no-noise mixnet the attack
+// breaks); the compromised last server records the dead-drop histogram.
+//
+// It returns per-round observations from the world where Alice and Bob
+// converse and the world where both are idle.
+type MixnetExperiment struct {
+	// Rounds is the number of rounds observed in each world.
+	Rounds int
+	// MiddleNoise is the honest server's noise distribution (nil = none).
+	MiddleNoise noise.Distribution
+	// NoiseSrc optionally seeds the Laplace draws for reproducibility.
+	NoiseSrc noise.Source
+}
+
+// Run executes the experiment.
+func (e MixnetExperiment) Run() (talking, idle []Observation, err error) {
+	talking, err = e.runWorld(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	idle, err = e.runWorld(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return talking, idle, nil
+}
+
+func (e MixnetExperiment) runWorld(conversing bool) ([]Observation, error) {
+	pubs, privs, err := mixnet.NewChainKeys(3)
+	if err != nil {
+		return nil, err
+	}
+	var obs []Observation
+	observer := func(round uint64, m1, m2, more int) {
+		obs = append(obs, Observation{M1: m1, M2: m2 + more})
+	}
+
+	// Build the chain back to front so NextLocal links resolve. The
+	// malicious first server runs the protocol but adds no noise (its
+	// noise would only help the users, so a rational adversary omits it).
+	last, err := mixnet.NewServer(mixnet.Config{
+		Position: 2, ChainPubs: pubs, Priv: privs[2],
+		ConvoObserver: observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	honest, err := mixnet.NewServer(mixnet.Config{
+		Position: 1, ChainPubs: pubs, Priv: privs[1],
+		ConvoNoise: e.MiddleNoise, NoiseSrc: e.NoiseSrc,
+		NextLocal: last,
+	})
+	if err != nil {
+		return nil, err
+	}
+	malicious, err := mixnet.NewServer(mixnet.Config{
+		Position: 0, ChainPubs: pubs, Priv: privs[0],
+		NextLocal: honest,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	alicePub, alicePriv := box.KeyPairFromSeed([]byte("attack-alice"))
+	bobPub, bobPriv := box.KeyPairFromSeed([]byte("attack-bob"))
+	secretA, err := convo.DeriveSecret(&alicePriv, &bobPub)
+	if err != nil {
+		return nil, err
+	}
+	secretB, err := convo.DeriveSecret(&bobPriv, &alicePub)
+	if err != nil {
+		return nil, err
+	}
+
+	for r := 1; r <= e.Rounds; r++ {
+		round := uint64(r)
+		var sa, sb *[32]byte
+		if conversing {
+			sa, sb = secretA, secretB
+		}
+		reqA, err := convo.BuildRequest(sa, round, &alicePub, []byte("hi"))
+		if err != nil {
+			return nil, err
+		}
+		reqB, err := convo.BuildRequest(sb, round, &bobPub, []byte("hi"))
+		if err != nil {
+			return nil, err
+		}
+		// The discard attack: only Alice's and Bob's onions enter the
+		// chain.
+		batch := make([][]byte, 0, 2)
+		for _, req := range []*convo.Request{reqA, reqB} {
+			o, _, err := onion.Wrap(req.Marshal(), round, 0, pubs, nil)
+			if err != nil {
+				return nil, err
+			}
+			batch = append(batch, o)
+		}
+		if _, err := malicious.ConvoRound(round, batch); err != nil {
+			return nil, fmt.Errorf("round %d: %w", r, err)
+		}
+	}
+	return obs, nil
+}
+
+// StrawmanExperiment demonstrates the single-server baseline's total
+// leakage: even with per-round pseudo-random dead drops (the real
+// client-side derivation), the server sees the user↔drop mapping and
+// learns exactly who talks to whom after a single round. eve idles with
+// fresh random drops and is never falsely linked.
+func StrawmanExperiment(rounds int) map[[2]string]int {
+	var srv Server
+	var abSecret, cdSecret [32]byte
+	abSecret[0], cdSecret[0] = 1, 2
+	var srvState Server
+	_ = srvState
+	for r := 1; r <= rounds; r++ {
+		round := uint64(r)
+		ab := convo.DeadDropID(&abSecret, round)
+		cd := convo.DeadDropID(&cdSecret, round)
+		var eveSecret [32]byte
+		eveSecret[1] = byte(r)
+		eveSecret[2] = byte(r >> 8)
+		eve := convo.DeadDropID(&eveSecret, round)
+		srv.Round([]Request{
+			{User: "alice", DeadDrop: ab},
+			{User: "bob", DeadDrop: ab},
+			{User: "carol", DeadDrop: cd},
+			{User: "dave", DeadDrop: cd},
+			{User: "eve", DeadDrop: eve},
+		})
+	}
+	return srv.LinkedPairs()
+}

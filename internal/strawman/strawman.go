@@ -1,0 +1,128 @@
+// Package strawman implements the baseline protocols Vuvuzela's design
+// argues against, together with the traffic-analysis adversaries that
+// break them (paper §2.1, §4 Figure 4, and §4.2). The examples and
+// benchmarks use this package to demonstrate — with the real protocol
+// stack — exactly the attacks the paper describes, and how Vuvuzela's
+// noise defeats them.
+package strawman
+
+import (
+	"vuvuzela/internal/deaddrop"
+)
+
+// Request is a single-server exchange request as in Figure 4: the server
+// sees which user accessed which dead drop.
+type Request struct {
+	User     string
+	DeadDrop deaddrop.ID
+}
+
+// Server is the Figure 4 strawman: one server, fully visible access
+// patterns. Even with encrypted payloads, a compromised server learns the
+// (user, dead drop) mapping directly.
+type Server struct {
+	rounds []map[deaddrop.ID][]string
+}
+
+// Round processes one round of requests and records the adversary-visible
+// access pattern.
+func (s *Server) Round(reqs []Request) {
+	access := make(map[deaddrop.ID][]string)
+	for _, r := range reqs {
+		access[r.DeadDrop] = append(access[r.DeadDrop], r.User)
+	}
+	s.rounds = append(s.rounds, access)
+}
+
+// LinkedPairs returns every pair of users the adversary directly observed
+// sharing a dead drop in any round — the total loss of metadata privacy
+// the strawman suffers (§4: "Adversary can see Alice and Bob talking").
+func (s *Server) LinkedPairs() map[[2]string]int {
+	links := make(map[[2]string]int)
+	for _, round := range s.rounds {
+		for _, users := range round {
+			for i := 0; i < len(users); i++ {
+				for j := i + 1; j < len(users); j++ {
+					a, b := users[i], users[j]
+					if a > b {
+						a, b = b, a
+					}
+					links[[2]string{a, b}]++
+				}
+			}
+		}
+	}
+	return links
+}
+
+// Observation is what the §4.2 adversary sees from one Vuvuzela round
+// after compromising the first and last servers and discarding every
+// request except Alice's and Bob's: the dead-drop access histogram at the
+// last server (the mixnet hides everything else).
+type Observation struct {
+	M1 int // drops accessed once
+	M2 int // drops accessed twice
+}
+
+// Distinguisher is the adversary's decision rule in the two-world
+// experiment of Figure 2: given an observation, guess whether Alice and
+// Bob are talking (world 1) or idle (world 0).
+type Distinguisher struct {
+	// Threshold on m2: guess "talking" if M2 ≥ Threshold. Without noise
+	// the correct threshold is 1 (m2 is exactly 1 iff they talk). With
+	// noise the adversary's best threshold is calibrated near the noise
+	// median + 1.
+	Threshold int
+}
+
+// Guess returns true for "talking".
+func (d Distinguisher) Guess(o Observation) bool {
+	return o.M2 >= d.Threshold
+}
+
+// Advantage computes the adversary's distinguishing advantage
+// |P(guess=talking | talking) − P(guess=talking | idle)| over paired
+// observation sets from the two worlds. An advantage of 1 is total
+// compromise; differential privacy bounds it near e^ε−1 per round.
+func Advantage(d Distinguisher, talking, idle []Observation) float64 {
+	if len(talking) == 0 || len(idle) == 0 {
+		return 0
+	}
+	pt := 0
+	for _, o := range talking {
+		if d.Guess(o) {
+			pt++
+		}
+	}
+	pi := 0
+	for _, o := range idle {
+		if d.Guess(o) {
+			pi++
+		}
+	}
+	adv := float64(pt)/float64(len(talking)) - float64(pi)/float64(len(idle))
+	if adv < 0 {
+		adv = -adv
+	}
+	return adv
+}
+
+// BestAdvantage searches thresholds for the adversary's best achievable
+// advantage on the given observations — a conservative empirical bound on
+// what the histogram leaks.
+func BestAdvantage(talking, idle []Observation) (float64, int) {
+	maxM2 := 0
+	for _, o := range append(append([]Observation(nil), talking...), idle...) {
+		if o.M2 > maxM2 {
+			maxM2 = o.M2
+		}
+	}
+	best, bestT := 0.0, 0
+	for t := 0; t <= maxM2+1; t++ {
+		adv := Advantage(Distinguisher{Threshold: t}, talking, idle)
+		if adv > best {
+			best, bestT = adv, t
+		}
+	}
+	return best, bestT
+}

@@ -1,0 +1,124 @@
+package strawman
+
+import (
+	"math/rand"
+	"testing"
+
+	"vuvuzela/internal/noise"
+)
+
+// TestStrawmanLeaksEverything: the single-server baseline reveals both
+// conversing pairs in every round and never links the idle user.
+func TestStrawmanLeaksEverything(t *testing.T) {
+	const rounds = 5
+	links := StrawmanExperiment(rounds)
+	if links[[2]string{"alice", "bob"}] != rounds {
+		t.Fatalf("alice-bob linked %d times, want %d", links[[2]string{"alice", "bob"}], rounds)
+	}
+	if links[[2]string{"carol", "dave"}] != rounds {
+		t.Fatalf("carol-dave linked %d times, want %d", links[[2]string{"carol", "dave"}], rounds)
+	}
+	if len(links) != 2 {
+		t.Fatalf("spurious links: %v", links)
+	}
+}
+
+// TestMixnetWithoutNoiseIsBroken reproduces §4.2: against a mixnet with
+// no cover traffic, the discard attack distinguishes the two worlds
+// perfectly — m2 is exactly 1 when Alice and Bob converse and 0 when idle.
+func TestMixnetWithoutNoiseIsBroken(t *testing.T) {
+	exp := MixnetExperiment{Rounds: 10, MiddleNoise: nil}
+	talking, idle, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range talking {
+		if o.M2 != 1 {
+			t.Fatalf("talking round %d: m2 = %d, want 1", i, o.M2)
+		}
+	}
+	for i, o := range idle {
+		if o.M2 != 0 {
+			t.Fatalf("idle round %d: m2 = %d, want 0", i, o.M2)
+		}
+	}
+	adv, threshold := BestAdvantage(talking, idle)
+	if adv != 1.0 {
+		t.Fatalf("no-noise advantage %.2f, want 1.0", adv)
+	}
+	if threshold != 1 {
+		t.Fatalf("best threshold %d, want 1", threshold)
+	}
+}
+
+// TestNoiseDefeatsAttack: with the honest middle server adding
+// Laplace(µ, b) cover traffic, the same adversary's advantage collapses
+// toward the differential-privacy bound.
+func TestNoiseDefeatsAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical experiment")
+	}
+	exp := MixnetExperiment{
+		Rounds:      120,
+		MiddleNoise: noise.Laplace{Mu: 40, B: 10},
+		NoiseSrc:    rand.New(rand.NewSource(7)),
+	}
+	talking, idle, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, _ := BestAdvantage(talking, idle)
+	// ε = 4/b = 0.4 per round bounds the advantage near e^ε−1 ≈ 0.49;
+	// the m2-only threshold test achieves far less (the m2 noise has
+	// scale b/2 = 5, TV distance of a shift-by-1 ≈ 0.1). Allow generous
+	// sampling slack while staying far from the no-noise advantage of 1.
+	if adv > 0.45 {
+		t.Fatalf("advantage with noise %.2f; expected well below 1", adv)
+	}
+	// Sanity: noise must not break the exchange itself — m2 ≥ 1 in every
+	// talking round (the real pair is always there).
+	for i, o := range talking {
+		if o.M2 < 1 {
+			t.Fatalf("talking round %d lost the real exchange", i)
+		}
+	}
+}
+
+// TestAdvantageHelpers covers the distinguisher math.
+func TestAdvantageHelpers(t *testing.T) {
+	talking := []Observation{{M2: 3}, {M2: 4}, {M2: 5}}
+	idle := []Observation{{M2: 0}, {M2: 1}, {M2: 2}}
+	adv := Advantage(Distinguisher{Threshold: 3}, talking, idle)
+	if adv != 1.0 {
+		t.Fatalf("separable sets advantage %.2f", adv)
+	}
+	best, thr := BestAdvantage(talking, idle)
+	if best != 1.0 || thr != 3 {
+		t.Fatalf("best %.2f at %d", best, thr)
+	}
+	if Advantage(Distinguisher{Threshold: 0}, talking, idle) != 0 {
+		t.Fatal("always-guess rule should have zero advantage")
+	}
+	if Advantage(Distinguisher{}, nil, nil) != 0 {
+		t.Fatal("empty observations should yield zero")
+	}
+}
+
+// TestObservationsIncludeNoise: with Fixed noise the idle-world histogram
+// shows exactly the injected noise (n1 singles + ⌈n2/2⌉ pairs + 2 fake
+// singles from Alice and Bob).
+func TestObservationsIncludeNoise(t *testing.T) {
+	exp := MixnetExperiment{Rounds: 3, MiddleNoise: noise.Fixed{N: 6}}
+	_, idle, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range idle {
+		if o.M1 != 6+2 { // 6 noise singles + alice + bob fakes
+			t.Fatalf("idle round %d: m1 = %d, want 8", i, o.M1)
+		}
+		if o.M2 != 3 { // ⌈6/2⌉ noise pairs
+			t.Fatalf("idle round %d: m2 = %d, want 3", i, o.M2)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package transport abstracts the byte-stream substrate the Vuvuzela
+// processes run on: real TCP for deployments (paper §8.1 runs each server
+// on its own VM) and an in-memory network for tests, examples, and the
+// scaled-down evaluation harness — both behind one interface so every
+// layer above is identical in either mode.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Network creates listeners and dials peers by address.
+type Network interface {
+	Listen(addr string) (net.Listener, error)
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the production network: plain TCP.
+type TCP struct{}
+
+// Listen implements Network.
+func (TCP) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// Dial implements Network.
+func (TCP) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// Mem is an in-process network: addresses are arbitrary names, and
+// connections are synchronous net.Pipe pairs.
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewMem returns an empty in-memory network.
+func NewMem() *Mem {
+	return &Mem{listeners: make(map[string]*memListener)}
+}
+
+// Listen implements Network.
+func (m *Mem) Listen(addr string) (net.Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q in use", addr)
+	}
+	l := &memListener{
+		net:    m,
+		addr:   addr,
+		accept: make(chan net.Conn),
+		closed: make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (m *Mem) Dial(addr string) (net.Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: connection refused: %q", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("transport: connection refused: %q", addr)
+	}
+}
+
+type memListener struct {
+	net       *Mem
+	addr      string
+	accept    chan net.Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, errors.New("transport: listener closed")
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }

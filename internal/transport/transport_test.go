@@ -1,0 +1,192 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestMemListenDial(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("server-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := c.Read(buf); err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write(bytes.ToUpper(buf))
+	}()
+
+	c, err := m.Dial("server-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HELLO" {
+		t.Fatalf("got %q", buf)
+	}
+	wg.Wait()
+}
+
+func TestMemDialUnknownAddr(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial("nowhere"); err == nil {
+		t.Fatal("dial to unknown address succeeded")
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Listen("a"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	l.Close()
+	// After closing, the address is free again.
+	l2, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+}
+
+func TestMemClosedListener(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Accept(); err == nil {
+		t.Fatal("accept on closed listener succeeded")
+	}
+	if _, err := m.Dial("a"); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	// Double close is fine.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemAddr(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("chain-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr().String() != "chain-2" || l.Addr().Network() != "mem" {
+		t.Fatalf("addr %v/%v", l.Addr().Network(), l.Addr().String())
+	}
+}
+
+func TestMemConcurrentDials(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const n = 20
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1)
+				c.Read(buf)
+				c.Write(buf)
+			}(c)
+		}
+	}()
+
+	var cwg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			c, err := m.Dial("hub")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			c.Write([]byte{byte(i)})
+			buf := make([]byte, 1)
+			c.Read(buf)
+			if buf[0] != byte(i) {
+				t.Errorf("echo mismatch: %d != %d", buf[0], i)
+			}
+		}(i)
+	}
+	cwg.Wait()
+	wg.Wait()
+}
+
+// TestTCPLoopback exercises the TCP network on the loopback interface.
+func TestTCPLoopback(t *testing.T) {
+	var tcp TCP
+	l, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer l.Close()
+
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4)
+		c.Read(buf)
+		c.Write(buf)
+	}()
+
+	c, err := tcp.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("got %q", buf)
+	}
+}

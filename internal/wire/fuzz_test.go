@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics feeds random byte strings into Decode: it must
+// either parse or return an error, never panic or over-read — the frame
+// parser fronts untrusted peers.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %x: %v", data, r)
+			}
+		}()
+		m, err := Decode(data)
+		if err == nil && m == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeMutatedFrames mutates valid frames byte-by-byte: every
+// mutation either parses into a structurally valid message or errors.
+func TestDecodeMutatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := (&Message{
+		Kind: KindBatch, Proto: ProtoConvo, Round: 77, M: 3,
+		Body: [][]byte{{1, 2, 3}, {}, {4, 5}},
+	}).Encode()
+	for trial := 0; trial < 500; trial++ {
+		buf := append([]byte(nil), base...)
+		// Mutate 1-3 random bytes.
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			buf[rng.Intn(len(buf))] = byte(rng.Intn(256))
+		}
+		m, err := Decode(buf)
+		if err != nil {
+			continue
+		}
+		// Parsed messages must be internally consistent.
+		total := 0
+		for _, b := range m.Body {
+			total += len(b)
+		}
+		if total > len(buf) {
+			t.Fatalf("decoded body larger than frame")
+		}
+	}
+}
+
+// TestDecodeTruncations checks every prefix of a valid frame.
+func TestDecodeTruncations(t *testing.T) {
+	base := (&Message{
+		Kind: KindReplies, Round: 9,
+		Body: [][]byte{make([]byte, 37), make([]byte, 5)},
+	}).Encode()
+	for i := 0; i < len(base); i++ {
+		if _, err := Decode(base[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	if _, err := Decode(base); err != nil {
+		t.Fatalf("full frame rejected: %v", err)
+	}
+}
+
+// TestHugeCountRejected guards the pre-allocation bound.
+func TestHugeCountRejected(t *testing.T) {
+	base := (&Message{Kind: KindBatch}).Encode()
+	// Overwrite the count field (bytes 18..21) with a huge value.
+	base[18], base[19], base[20], base[21] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Decode(base); err == nil {
+		t.Fatal("absurd element count accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package wire defines Vuvuzela's wire protocol: length-prefixed frames
+// carrying round announcements, client submissions, onion batches moving
+// down the server chain, replies moving back up, and dialing bucket
+// publication/fetch (paper §7's RPC layer).
+//
+// The encoding is a simple deterministic binary format: every frame is a
+// 4-byte big-endian length followed by a fixed header and a list of
+// byte-slices. All multi-byte integers are big-endian.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind identifies a message type.
+type Kind byte
+
+// Message kinds.
+const (
+	// KindAnnounce: entry server → client. Announces a round is open for
+	// submissions. Uses Proto, Round, M (dialing bucket count).
+	KindAnnounce Kind = iota + 1
+	// KindSubmit: client → entry server. One onion for the round.
+	KindSubmit
+	// KindReply: entry server → client. The client's onion reply.
+	KindReply
+	// KindBatch: server i → server i+1. All onions of a round.
+	KindBatch
+	// KindReplies: server i+1 → server i. The batch's replies, aligned
+	// with the forwarded batch order.
+	KindReplies
+	// KindBuckets: last server → CDN. A dialing round's bucket blobs.
+	KindBuckets
+	// KindBucketReq: client → CDN. Fetch one bucket of a round.
+	KindBucketReq
+	// KindBucketResp: CDN → client. The requested bucket blob.
+	KindBucketResp
+)
+
+// Proto identifies which protocol a round belongs to.
+type Proto byte
+
+// Protocols.
+const (
+	ProtoConvo Proto = 1
+	ProtoDial  Proto = 2
+)
+
+// Message is the single frame structure shared by all kinds; unused
+// fields are zero.
+type Message struct {
+	Kind   Kind
+	Proto  Proto
+	Round  uint64
+	M      uint32   // dialing bucket count (KindAnnounce, KindBatch)
+	Bucket uint32   // bucket index (KindBucketReq/Resp)
+	Body   [][]byte // onions, bucket blobs, or a single payload at [0]
+}
+
+const (
+	headerSize = 1 + 1 + 8 + 4 + 4 + 4 // kind, proto, round, m, bucket, count
+	// MaxFrameSize bounds a frame to guard against resource-exhaustion
+	// from malformed peers. Large rounds are still comfortably within
+	// this (1M onions × ~420 B ≈ 420 MB < 1 GB).
+	MaxFrameSize = 1 << 30
+	// maxBodyParts bounds the number of slices in one frame.
+	maxBodyParts = 1 << 24
+)
+
+var (
+	// ErrFrameTooLarge indicates an incoming frame exceeded MaxFrameSize.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+	// ErrMalformed indicates a structurally invalid frame.
+	ErrMalformed = errors.New("wire: malformed frame")
+)
+
+// size returns the encoded payload size of m (excluding the frame length
+// prefix).
+func (m *Message) size() int {
+	n := headerSize
+	for _, b := range m.Body {
+		n += 4 + len(b)
+	}
+	return n
+}
+
+// Encode serializes the message payload (without the frame length).
+func (m *Message) Encode() []byte {
+	buf := make([]byte, 0, m.size())
+	buf = append(buf, byte(m.Kind), byte(m.Proto))
+	buf = binary.BigEndian.AppendUint64(buf, m.Round)
+	buf = binary.BigEndian.AppendUint32(buf, m.M)
+	buf = binary.BigEndian.AppendUint32(buf, m.Bucket)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Body)))
+	for _, b := range m.Body {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
+// Decode parses a message payload produced by Encode.
+func Decode(buf []byte) (*Message, error) {
+	if len(buf) < headerSize {
+		return nil, ErrMalformed
+	}
+	var m Message
+	m.Kind = Kind(buf[0])
+	m.Proto = Proto(buf[1])
+	m.Round = binary.BigEndian.Uint64(buf[2:10])
+	m.M = binary.BigEndian.Uint32(buf[10:14])
+	m.Bucket = binary.BigEndian.Uint32(buf[14:18])
+	count := binary.BigEndian.Uint32(buf[18:22])
+	if count > maxBodyParts {
+		return nil, ErrMalformed
+	}
+	rest := buf[22:]
+	if count > 0 {
+		m.Body = make([][]byte, 0, count)
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return nil, ErrMalformed
+		}
+		n := binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint32(len(rest)) < n {
+			return nil, ErrMalformed
+		}
+		m.Body = append(m.Body, rest[:n:n])
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, ErrMalformed
+	}
+	return &m, nil
+}
+
+// Conn wraps a stream with buffered, framed message I/O. Reads and writes
+// may proceed concurrently with each other, but each direction must be
+// used by one goroutine at a time (callers serialize writes with their own
+// mutex if needed).
+type Conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+	c io.Closer
+}
+
+// NewConn wraps rwc (typically a net.Conn) for framed message exchange.
+func NewConn(rwc io.ReadWriteCloser) *Conn {
+	return &Conn{
+		r: bufio.NewReaderSize(rwc, 1<<16),
+		w: bufio.NewWriterSize(rwc, 1<<16),
+		c: rwc,
+	}
+}
+
+// Send writes one message frame and flushes it.
+func (c *Conn) Send(m *Message) error {
+	payload := m.Encode()
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: send header: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: send payload: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one message frame.
+func (c *Conn) Recv() (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return nil, fmt.Errorf("wire: recv payload: %w", err)
+	}
+	return Decode(payload)
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.c.Close() }

@@ -1,0 +1,342 @@
+// Package vuvuzela is a from-scratch Go implementation of Vuvuzela, the
+// scalable private messaging system of van den Hooff, Lazar, Zaharia, and
+// Zeldovich (SOSP 2015). Vuvuzela hides both message data and metadata —
+// which pairs of users are communicating — from an adversary who observes
+// and tampers with all network traffic and controls all but one server,
+// by minimizing the observable variables of its protocols and covering
+// them with Laplace noise sized by differential privacy.
+//
+// This package is the public facade. It re-exports the key types, wires
+// complete deployments together (in-process for tests and evaluation,
+// networked for real use), and exposes the privacy-analysis toolkit used
+// to choose noise parameters. The building blocks live in internal/
+// packages: the NaCl crypto suite, onion encryption, the mixnet chain
+// server, the conversation and dialing protocols, the entry-server
+// coordinator, the invitation CDN, and the evaluation harness.
+//
+// A minimal session looks like:
+//
+//	net, _ := vuvuzela.NewInProcessNetwork(vuvuzela.Options{})
+//	defer net.Close()
+//	alice, _ := net.NewClient("alice")
+//	bob, _ := net.NewClient("bob")
+//	alice.StartConversation(bob.PublicKey())
+//	bob.StartConversation(alice.PublicKey())
+//	alice.Send("hi bob")
+//	net.RunConvoRound(ctx)
+//	// <-bob.Events() yields MessageEvent{Text: "hi bob"}
+package vuvuzela
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"vuvuzela/internal/cdn"
+	"vuvuzela/internal/client"
+	"vuvuzela/internal/coordinator"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/privacy"
+	"vuvuzela/internal/transport"
+)
+
+// Key types.
+type (
+	// PublicKey is a user's or server's long-term X25519 public key.
+	PublicKey = box.PublicKey
+	// PrivateKey is the corresponding private key.
+	PrivateKey = box.PrivateKey
+)
+
+// Client is a connected Vuvuzela client; see the Events channel for
+// incoming messages and invitations.
+type Client = client.Client
+
+// Client event types, re-exported for consumers of Client.Events().
+type (
+	// Event is any client event.
+	Event = client.Event
+	// MessageEvent is an in-order conversation message.
+	MessageEvent = client.MessageEvent
+	// InvitationEvent is an incoming call.
+	InvitationEvent = client.InvitationEvent
+	// ConvoRoundEvent marks a completed conversation round.
+	ConvoRoundEvent = client.ConvoRoundEvent
+	// DialRoundEvent marks a completed dialing round.
+	DialRoundEvent = client.DialRoundEvent
+	// ErrorEvent reports a background client failure.
+	ErrorEvent = client.ErrorEvent
+)
+
+// GenerateKeyPair creates a fresh long-term key pair.
+func GenerateKeyPair() (PublicKey, PrivateKey, error) {
+	return box.GenerateKey(nil)
+}
+
+// KeyPairFromSeed derives a deterministic key pair (tests, simulations).
+func KeyPairFromSeed(seed string) (PublicKey, PrivateKey) {
+	return box.KeyPairFromSeed([]byte(seed))
+}
+
+// NoiseParams selects a cover-traffic distribution: Laplace(Mu, B)
+// truncated at zero (paper Algorithm 2 step 2). If Fixed is true the
+// servers always add exactly Mu noise requests — the paper's evaluation
+// mode (§8.1).
+type NoiseParams struct {
+	Mu    float64
+	B     float64
+	Fixed bool
+}
+
+func (p NoiseParams) dist() noise.Distribution {
+	if p.Fixed {
+		return noise.Fixed{N: int(p.Mu)}
+	}
+	return noise.Laplace{Mu: p.Mu, B: p.B}
+}
+
+// Options configures a deployment.
+type Options struct {
+	// Servers is the chain length (default 3, the paper's configuration).
+	Servers int
+	// ConvoNoise is each mixing server's conversation cover traffic.
+	// Default: the paper's µ=300,000, b=13,800 scaled DOWN for laptop use
+	// is deliberately NOT applied — the default is Laplace(µ=500, b=100),
+	// suitable for in-process experimentation. Production deployments
+	// should use privacy.BestScale / DefaultConvoNoise.
+	ConvoNoise *NoiseParams
+	// DialNoise is the per-bucket dialing noise (default Laplace(50, 10)
+	// for in-process use; the paper's production value is µ=13,000).
+	DialNoise *NoiseParams
+	// DialBuckets is the number of invitation dead drops m (default 1).
+	DialBuckets uint32
+	// AutoBuckets, if positive, enables the §5.4 adaptive bucket count:
+	// each dialing round uses m = clients·AutoBuckets/DialNoise.Mu.
+	AutoBuckets float64
+	// ConvoExchanges is the fixed number of conversation exchanges every
+	// client performs per round — the §9 multiple-conversations
+	// extension (default 1, the paper's prototype).
+	ConvoExchanges uint32
+	// SubmitTimeout bounds how long a round waits for stragglers.
+	SubmitTimeout time.Duration
+	// Workers bounds per-server crypto parallelism (0 = all cores).
+	Workers int
+}
+
+// DefaultConvoNoise is the paper's production conversation noise:
+// µ=300,000, b=13,800, supporting ≈250,000 rounds at ε′=ln2, δ′=10⁻⁴
+// (§6.4).
+var DefaultConvoNoise = NoiseParams{Mu: 300000, B: 13800}
+
+// DefaultDialNoise is the paper's production dialing noise (µ=13,000;
+// §8.1, with the b=770 correction documented in EXPERIMENTS.md).
+var DefaultDialNoise = NoiseParams{Mu: 13000, B: 770}
+
+// Network is a complete in-process Vuvuzela deployment: a chain of mixnet
+// servers, a CDN, an entry-server coordinator, and an in-memory transport
+// that clients connect over.
+type Network struct {
+	Chain []PublicKey
+
+	mem       *transport.Mem
+	co        *coordinator.Coordinator
+	store     *cdn.Store
+	exchanges uint32
+
+	mu        sync.Mutex
+	listeners []interface{ Close() error }
+	clients   []*Client
+}
+
+// NewInProcessNetwork assembles a full deployment inside the process.
+func NewInProcessNetwork(opts Options) (*Network, error) {
+	if opts.Servers <= 0 {
+		opts.Servers = 3
+	}
+	if opts.ConvoNoise == nil {
+		opts.ConvoNoise = &NoiseParams{Mu: 500, B: 100}
+	}
+	if opts.DialNoise == nil {
+		opts.DialNoise = &NoiseParams{Mu: 50, B: 10}
+	}
+	if opts.DialBuckets == 0 {
+		opts.DialBuckets = 1
+	}
+	if opts.SubmitTimeout == 0 {
+		opts.SubmitTimeout = 5 * time.Second
+	}
+
+	pubs, privs, err := mixnet.NewChainKeys(opts.Servers)
+	if err != nil {
+		return nil, err
+	}
+	store := cdn.NewStore(0)
+	servers, err := mixnet.NewLocalChain(pubs, privs, mixnet.Config{
+		ConvoNoise: opts.ConvoNoise.dist(),
+		DialNoise:  opts.DialNoise.dist(),
+		Workers:    opts.Workers,
+	}, store)
+	if err != nil {
+		return nil, err
+	}
+	co, err := coordinator.New(coordinator.Config{
+		ChainLocal:     servers[0],
+		DialBuckets:    opts.DialBuckets,
+		AutoBuckets:    opts.AutoBuckets,
+		AutoBucketsMu:  opts.DialNoise.Mu,
+		ConvoExchanges: opts.ConvoExchanges,
+		SubmitTimeout:  opts.SubmitTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mem := transport.NewMem()
+	n := &Network{Chain: pubs, mem: mem, co: co, store: store, exchanges: opts.ConvoExchanges}
+
+	entryL, err := mem.Listen("entry")
+	if err != nil {
+		return nil, err
+	}
+	go co.Serve(entryL)
+	n.listeners = append(n.listeners, entryL)
+
+	cdnL, err := mem.Listen("cdn")
+	if err != nil {
+		return nil, err
+	}
+	go store.Serve(cdnL)
+	n.listeners = append(n.listeners, cdnL)
+
+	return n, nil
+}
+
+// NewClient connects a client with keys derived from name (deterministic,
+// so examples and tests can reconnect the same identity).
+func (n *Network) NewClient(name string) (*Client, error) {
+	pub, priv := KeyPairFromSeed(name)
+	return n.NewClientWithKeys(pub, priv)
+}
+
+// NewClientWithKeys connects a client with explicit keys.
+func (n *Network) NewClientWithKeys(pub PublicKey, priv PrivateKey) (*Client, error) {
+	want := n.co.NumClients() + 1
+	c, err := client.Dial(client.Config{
+		Pub: pub, Priv: priv,
+		ChainPubs:        n.Chain,
+		Net:              n.mem,
+		EntryAddr:        "entry",
+		CDNAddr:          "cdn",
+		MaxConversations: int(max(1, n.exchanges)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Wait for the coordinator to register the connection so the next
+	// round includes this client.
+	deadline := time.Now().Add(2 * time.Second)
+	for n.co.NumClients() < want {
+		if time.Now().After(deadline) {
+			c.Close()
+			return nil, fmt.Errorf("vuvuzela: client registration timed out")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n.mu.Lock()
+	n.clients = append(n.clients, c)
+	n.mu.Unlock()
+	return c, nil
+}
+
+// RunConvoRound executes one conversation round across all connected
+// clients and returns the round number and participant count.
+func (n *Network) RunConvoRound(ctx context.Context) (uint64, int, error) {
+	return n.co.RunConvoRound(ctx)
+}
+
+// RunDialRound executes one dialing round.
+func (n *Network) RunDialRound(ctx context.Context) (uint64, int, error) {
+	return n.co.RunDialRound(ctx)
+}
+
+// StartRounds drives rounds continuously on the given intervals until the
+// context is cancelled (0 disables a protocol's timer).
+func (n *Network) StartRounds(ctx context.Context, convoEvery, dialEvery time.Duration) {
+	if convoEvery > 0 {
+		go n.roundLoop(ctx, convoEvery, func() { n.co.RunConvoRound(ctx) })
+	}
+	if dialEvery > 0 {
+		go n.roundLoop(ctx, dialEvery, func() { n.co.RunDialRound(ctx) })
+	}
+}
+
+func (n *Network) roundLoop(ctx context.Context, every time.Duration, fn func()) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
+
+// Close shuts the deployment down.
+func (n *Network) Close() {
+	n.mu.Lock()
+	clients := n.clients
+	listeners := n.listeners
+	n.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	n.co.Close()
+	for _, l := range listeners {
+		l.Close()
+	}
+}
+
+// PrivacyGuarantee is an (ε, δ) differential-privacy guarantee; see
+// paper §2.2 (Definition 1) for the semantics: any adversary observation
+// is at most e^ε more likely under the user's real actions than under any
+// cover story, except with probability δ.
+type PrivacyGuarantee = privacy.Guarantee
+
+// ConvoPrivacyAfter returns the cumulative (ε′, δ′) guarantee of the
+// conversation protocol after k rounds under noise (mu, b) — Theorems 1
+// and 2 composed with the paper's d=10⁻⁵.
+func ConvoPrivacyAfter(mu, b float64, k int) PrivacyGuarantee {
+	return privacy.Compose(privacy.ConvoRound(privacy.Params{Mu: mu, B: b}), k, privacy.DefaultD)
+}
+
+// DialPrivacyAfter returns the dialing protocol's cumulative guarantee
+// after k dialing rounds (§6.5).
+func DialPrivacyAfter(mu, b float64, k int) PrivacyGuarantee {
+	return privacy.Compose(privacy.DialRound(privacy.Params{Mu: mu, B: b}), k, privacy.DefaultD)
+}
+
+// PlanConvoNoise returns the smallest noise supporting k conversation
+// rounds at the target guarantee — the deployment-planning inverse of
+// ConvoPrivacyAfter.
+func PlanConvoNoise(k int, target PrivacyGuarantee) (NoiseParams, error) {
+	p, err := privacy.NoiseForRounds(privacy.Conversation, k, target, privacy.DefaultD)
+	if err != nil {
+		return NoiseParams{}, err
+	}
+	return NoiseParams{Mu: p.Mu, B: p.B}, nil
+}
+
+// StandardTarget is the paper's usual privacy goal: ε′ = ln 2, δ′ = 10⁻⁴
+// ("the adversary's confidence ... remains within 2× of what it was").
+var StandardTarget = PrivacyGuarantee{Eps: privacy.Ln2, Delta: 1e-4}
+
+// PosteriorBelief bounds an adversary's posterior belief in a suspicion
+// with the given prior after observing an ε-DP system (§6.4).
+func PosteriorBelief(prior, eps float64) float64 {
+	return privacy.PosteriorBelief(prior, eps)
+}
