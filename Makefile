@@ -1,0 +1,27 @@
+# Locks in the tier-1 gate plus the race-detector guarantee: `make check`
+# is what CI runs.
+
+GO ?= go
+
+.PHONY: check vet build test race bench clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short benchmark pass over the scalability-critical paths.
+bench:
+	$(GO) test -run NONE -bench 'ShardedExchange|PipelinedRounds|ServiceProcess' -benchtime 3x ./...
+
+clean:
+	$(GO) clean ./...

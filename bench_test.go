@@ -13,9 +13,11 @@ package vuvuzela
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
+	"vuvuzela/internal/convo"
 	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/noise"
 	"vuvuzela/internal/privacy"
@@ -123,6 +125,72 @@ func BenchmarkFig11ChainLength(b *testing.B) {
 				}
 				b.ReportMetric(pt.Latency.Seconds(), "s/round")
 			}
+		})
+	}
+}
+
+// BenchmarkShardedExchange measures the last server's dead-drop exchange
+// (convo.Service.Process) at 64k requests, sequential vs sharded — the
+// per-round half of the scalability tentpole. The sharded series scales
+// with cores; on a single-core runner it shows only the partitioning
+// overhead.
+func BenchmarkShardedExchange(b *testing.B) {
+	const n = 1 << 16
+	reqs := sim.CollidingExchangeRequests(n)
+	configs := []struct {
+		name   string
+		shards int
+	}{
+		{"sequential", 1},
+		{"shards=8", 8},
+		{"shards=32", 32},
+		{"shards=4xCPU", 4 * runtime.NumCPU()},
+	}
+	seen := map[int]bool{}
+	for _, cfg := range configs {
+		if seen[cfg.shards] {
+			continue
+		}
+		seen[cfg.shards] = true
+		b.Run(cfg.name, func(b *testing.B) {
+			svc := convo.Service{Shards: cfg.shards}
+			b.SetBytes(int64(n * convo.RequestSize))
+			for i := 0; i < b.N; i++ {
+				replies := svc.Process(uint64(i+1), reqs)
+				if len(replies) != n {
+					b.Fatal("bad reply count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinedRounds compares serial round execution (window=1)
+// against overlapped rounds (window≥2) through the full coordinator +
+// chain + loopback-client stack — the cross-round half of the
+// scalability tentpole.
+func BenchmarkPipelinedRounds(b *testing.B) {
+	const (
+		users   = 24
+		mu      = 20
+		servers = 3
+		rounds  = 6
+	)
+	for _, window := range []int{1, 2, 4} {
+		name := fmt.Sprintf("window=%d", window)
+		if window == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				pt, err := sim.MeasurePipelinedRounds(users, mu, servers, rounds, window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += pt.PerRound()
+			}
+			b.ReportMetric((total / time.Duration(b.N)).Seconds(), "s/round")
 		})
 	}
 }

@@ -16,8 +16,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
+	"vuvuzela/internal/convo"
 	"vuvuzela/internal/noise"
 	"vuvuzela/internal/privacy"
 	"vuvuzela/internal/sim"
@@ -59,6 +61,10 @@ func main() {
 			buckets()
 		case "attack":
 			attack()
+		case "shard":
+			shard()
+		case "pipeline":
+			pipeline()
 		case "all":
 			fig6()
 			fig7()
@@ -71,6 +77,8 @@ func main() {
 			bandwidth()
 			buckets()
 			attack()
+			shard()
+			pipeline()
 		default:
 			usage()
 		}
@@ -78,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vuvuzela-bench [-measure] [-scale N] fig6|fig7|fig8|fig9|fig10|fig11|posterior|costs|bandwidth|attack|all")
+	fmt.Fprintln(os.Stderr, "usage: vuvuzela-bench [-measure] [-scale N] fig6|fig7|fig8|fig9|fig10|fig11|posterior|costs|bandwidth|attack|shard|pipeline|all")
 	os.Exit(2)
 }
 
@@ -270,6 +278,66 @@ func buckets() {
 	}
 	fmt.Println("  paper: m = n·f/µ balances the two; at the optimum each bucket")
 	fmt.Println("  holds roughly equal real and (per-server) noise invitations")
+}
+
+// shard times the last server's dead-drop exchange at 64k all-matched
+// requests, sequential vs sharded — the per-round scalability claim of
+// §8 ("Vuvuzela's servers are highly parallel").
+func shard() {
+	header("sharded dead-drop exchange: 64k requests through convo.Service.Process")
+	const n = 1 << 16
+	reqs := sim.CollidingExchangeRequests(n)
+	const iters = 5
+	run := func(shards int) time.Duration {
+		svc := convo.Service{Shards: shards}
+		svc.Process(1, reqs) // warm up
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			svc.Process(uint64(i+2), reqs)
+		}
+		return time.Since(start) / iters
+	}
+	seq := run(1)
+	fmt.Printf("  %-14s %12v  (%.0f req/s)\n", "sequential", seq.Round(time.Microsecond), n/seq.Seconds())
+	seen := map[int]bool{1: true}
+	for _, shards := range []int{8, 32, 4 * runtime.NumCPU()} {
+		if seen[shards] {
+			continue
+		}
+		seen[shards] = true
+		d := run(shards)
+		fmt.Printf("  %-14s %12v  (%.0f req/s, %.2fx)\n",
+			fmt.Sprintf("shards=%d", shards), d.Round(time.Microsecond), n/d.Seconds(), seq.Seconds()/d.Seconds())
+	}
+	fmt.Printf("  (%d cores; the sharded series scales with cores and shows only\n", runtime.NumCPU())
+	fmt.Println("  partitioning overhead on a single-core machine)")
+}
+
+// pipeline compares serial vs overlapped round execution through the
+// full coordinator + chain + loopback-client stack.
+func pipeline() {
+	header("pipelined conversation rounds: serial vs overlapped windows")
+	const (
+		users   = 24
+		mu      = 20
+		servers = 3
+		rounds  = 8
+	)
+	fmt.Printf("  %d clients, µ=%d, %d servers, %d rounds:\n", users, mu, servers, rounds)
+	for _, window := range []int{1, 2, 4} {
+		pt, err := sim.MeasurePipelinedRounds(users, mu, servers, rounds, window)
+		if err != nil {
+			fmt.Println("  error:", err)
+			return
+		}
+		label := fmt.Sprintf("window=%d", window)
+		if window == 1 {
+			label = "serial"
+		}
+		fmt.Printf("  %-10s %12v/round\n", label, pt.PerRound().Round(time.Microsecond))
+	}
+	fmt.Println("  (window w lets round r+1 collect submissions while round r")
+	fmt.Println("  traverses the chain; gains require spare cores)")
 }
 
 func attack() {

@@ -26,6 +26,7 @@ func main() {
 	keyPath := flag.String("key", "", "server private key file")
 	fixedNoise := flag.Bool("fixed-noise", false, "add exactly µ noise instead of sampling Laplace (evaluation mode, §8.1)")
 	workers := flag.Int("workers", 0, "crypto worker goroutines (0 = all cores)")
+	shards := flag.Int("shards", 0, "dead-drop table shards on the last server (0 or 1 = one sequential table)")
 	flag.Parse()
 	if *keyPath == "" {
 		flag.Usage()
@@ -67,6 +68,7 @@ func main() {
 		ConvoNoise: convoNoise,
 		DialNoise:  dialNoise,
 		Workers:    *workers,
+		Shards:     *shards,
 		Net:        transport.TCP{},
 	}
 	last := pos == len(chain.Servers)-1

@@ -1,0 +1,3 @@
+module vuvuzela
+
+go 1.24

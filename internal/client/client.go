@@ -430,9 +430,9 @@ func (c *Client) onConvoAnnounce(round uint64, exchanges uint32) {
 	c.mu.Lock()
 	c.pending[round] = slots
 	// Bound pending state: replies arrive in round order, so anything
-	// older than a few rounds is lost.
+	// older than the protocol's in-flight window is lost.
 	for r := range c.pending {
-		if r+8 < round {
+		if r+wire.MaxRoundsInFlight < round {
 			delete(c.pending, r)
 		}
 	}

@@ -1,0 +1,106 @@
+package convo
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+
+	"vuvuzela/internal/deaddrop"
+)
+
+// buildMixedRequests produces a batch mixing well-formed requests over a
+// small (colliding) drop space with malformed requests of assorted wrong
+// lengths.
+func buildMixedRequests(rng *mrand.Rand, n int) [][]byte {
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		switch rng.Intn(8) {
+		case 0: // malformed: truncated, oversized, or empty
+			wrong := []int{0, 1, RequestSize - 1, RequestSize + 1, 3 * RequestSize}[rng.Intn(5)]
+			b := make([]byte, wrong)
+			rand.Read(b)
+			reqs[i] = b
+		default:
+			b := make([]byte, RequestSize)
+			rand.Read(b)
+			// Small drop space → frequent collisions (pairs, triples, ...).
+			v := rng.Intn(24)
+			b[0], b[1] = byte(v), byte(v>>8)
+			for j := 2; j < deaddrop.IDSize; j++ {
+				b[j] = byte(v * (j + 7))
+			}
+			reqs[i] = b
+		}
+	}
+	return reqs
+}
+
+// TestShardedProcessEquivalent is the acceptance property: for 1, 2, 8,
+// and 17 shards, the sharded Service produces byte-identical replies to
+// the sequential Service on batches containing malformed and colliding-ID
+// requests.
+func TestShardedProcessEquivalent(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		reqs := buildMixedRequests(rng, rng.Intn(300))
+		want := Service{}.Process(1, reqs)
+		for _, shards := range []int{1, 2, 8, 17} {
+			for _, workers := range []int{0, 1, 3} {
+				got := Service{Shards: shards, Workers: workers}.Process(1, reqs)
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d workers=%d: %d replies, want %d", shards, workers, len(got), len(want))
+				}
+				for i := range want {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Fatalf("trial=%d shards=%d workers=%d: reply %d differs from sequential", trial, shards, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedProcessAllMalformed: a batch of pure garbage still yields
+// fixed-size zero replies through the sharded path.
+func TestShardedProcessAllMalformed(t *testing.T) {
+	reqs := [][]byte{bytes.Repeat([]byte{9}, 10), {}, bytes.Repeat([]byte{1}, RequestSize+5)}
+	got := Service{Shards: 8, Workers: 2}.Process(1, reqs)
+	if len(got) != 3 {
+		t.Fatalf("%d replies", len(got))
+	}
+	for i, r := range got {
+		if len(r) != SealedSize || !bytes.Equal(r, make([]byte, SealedSize)) {
+			t.Fatalf("reply %d not a zero SealedSize payload", i)
+		}
+	}
+}
+
+// BenchmarkServiceProcess compares the sequential and sharded exchange at
+// 64k requests — the measurable half of the tentpole's scalability claim.
+func BenchmarkServiceProcess(b *testing.B) {
+	const n = 1 << 16
+	reqs := make([][]byte, n)
+	for j := 0; j < n/2; j++ {
+		req := make([]byte, RequestSize)
+		rand.Read(req)
+		partner := make([]byte, RequestSize)
+		copy(partner, req[:deaddrop.IDSize]) // same drop
+		rand.Read(partner[deaddrop.IDSize:])
+		reqs[2*j], reqs[2*j+1] = req, partner
+	}
+	for _, shards := range []int{1, 4, 16, 64} {
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			svc := Service{Shards: shards}
+			b.SetBytes(int64(n * RequestSize))
+			for i := 0; i < b.N; i++ {
+				svc.Process(uint64(i+1), reqs)
+			}
+		})
+	}
+}

@@ -59,6 +59,16 @@ type Config struct {
 	// closes early once every connected client has submitted.
 	SubmitTimeout time.Duration
 
+	// ConvoWindow is the maximum number of conversation rounds in flight
+	// at once in RunConvoRounds: with a window of w, round r+1's
+	// collection overlaps round r's chain traversal and reply fanout, up
+	// to w rounds announced but not yet delivered. 0 or 1 runs rounds
+	// strictly serially. Rounds still enter the chain in submission
+	// order, keeping the mixnet's strictly-increasing round check
+	// honest. Values above wire.MaxRoundsInFlight are clamped — clients
+	// prune per-round reply state beyond that depth.
+	ConvoWindow int
+
 	// ConvoInterval and DialInterval drive timer mode (Start). The
 	// paper's prototype uses sub-minute conversation rounds and 10-minute
 	// dialing rounds (§5.2, §8.3).
@@ -184,6 +194,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.SubmitTimeout == 0 {
 		cfg.SubmitTimeout = 5 * time.Second
 	}
+	if cfg.ConvoWindow > wire.MaxRoundsInFlight {
+		cfg.ConvoWindow = wire.MaxRoundsInFlight
+	}
 	return &Coordinator{
 		cfg:     cfg,
 		clients: make(map[*clientConn]struct{}),
@@ -246,38 +259,175 @@ func (co *Coordinator) readLoop(cc *clientConn) {
 	}
 }
 
-// RunConvoRound executes one conversation round: announce, collect,
-// forward through the chain, and deliver replies. It returns the round
-// number and how many clients participated.
-func (co *Coordinator) RunConvoRound(ctx context.Context) (round uint64, participants int, err error) {
+// convoRound carries one conversation round between the pipeline stages:
+// collect → chain-RPC → reply-fanout.
+type convoRound struct {
+	round   uint64
+	batch   [][]byte
+	clients []*clientConn
+}
+
+// collectConvo is the first pipeline stage: announce the next round
+// number and gather submissions. The returned convoRound always has its
+// round number set, even on error.
+func (co *Coordinator) collectConvo(ctx context.Context) (*convoRound, error) {
 	co.mu.Lock()
 	co.convoR++
-	round = co.convoR
+	cr := &convoRound{round: co.convoR}
 	co.mu.Unlock()
 
 	k := int(co.cfg.ConvoExchanges)
-	subs, clients, err := co.collect(ctx, wire.ProtoConvo, round, co.cfg.ConvoExchanges, k)
+	batch, clients, err := co.collect(ctx, wire.ProtoConvo, cr.round, co.cfg.ConvoExchanges, k)
 	if err != nil {
-		return round, 0, err
+		return cr, err
 	}
+	cr.batch, cr.clients = batch, clients
+	return cr, nil
+}
 
-	replies, err := co.forwardConvo(round, subs)
+// chainConvo is the second pipeline stage: forward the batch through the
+// server chain and validate the reply batch shape. Calls for consecutive
+// rounds must stay ordered — the chain enforces strictly increasing
+// rounds — so callers run this stage on a single goroutine.
+func (co *Coordinator) chainConvo(cr *convoRound) ([][]byte, error) {
+	replies, err := co.forwardConvo(cr.round, cr.batch)
 	if err != nil {
-		return round, len(clients), err
+		return nil, err
 	}
-	if len(replies) != len(subs) {
-		return round, len(clients), fmt.Errorf("coordinator: chain returned %d replies for %d requests", len(replies), len(subs))
+	if len(replies) != len(cr.batch) {
+		return nil, fmt.Errorf("coordinator: chain returned %d replies for %d requests", len(replies), len(cr.batch))
 	}
-	for i, cc := range clients {
+	return replies, nil
+}
+
+// fanoutConvo is the third pipeline stage: deliver each client's slice of
+// the reply batch.
+func (co *Coordinator) fanoutConvo(cr *convoRound, replies [][]byte) {
+	k := int(co.cfg.ConvoExchanges)
+	for i, cc := range cr.clients {
 		msg := &wire.Message{
-			Kind: wire.KindReply, Proto: wire.ProtoConvo, Round: round,
+			Kind: wire.KindReply, Proto: wire.ProtoConvo, Round: cr.round,
 			M: co.cfg.ConvoExchanges, Body: replies[i*k : (i+1)*k],
 		}
 		if err := cc.send(msg); err != nil {
 			cc.close()
 		}
 	}
-	return round, len(clients), nil
+}
+
+// RunConvoRound executes one conversation round: announce, collect,
+// forward through the chain, and deliver replies. It returns the round
+// number and how many clients participated.
+func (co *Coordinator) RunConvoRound(ctx context.Context) (round uint64, participants int, err error) {
+	cr, err := co.collectConvo(ctx)
+	if err != nil {
+		return cr.round, 0, err
+	}
+	replies, err := co.chainConvo(cr)
+	if err != nil {
+		return cr.round, len(cr.clients), err
+	}
+	co.fanoutConvo(cr, replies)
+	return cr.round, len(cr.clients), nil
+}
+
+// RunConvoRounds executes n consecutive conversation rounds with up to
+// ConvoWindow rounds in flight: while round r traverses the chain, round
+// r+1 is already announced and collecting, which overlaps client
+// submission latency with server crypto and raises round throughput
+// without changing any per-round semantics. It returns the participant
+// count of each completed round. A collection error stops announcing new
+// rounds but already-collected rounds still drain through the chain and
+// deliver their replies (clients who submitted are never stranded); a
+// chain error or context cancellation aborts the pipeline.
+func (co *Coordinator) RunConvoRounds(ctx context.Context, n int) ([]int, error) {
+	window := co.cfg.ConvoWindow
+	if window < 1 {
+		window = 1
+	}
+	participants := make([]int, 0, n)
+	if window == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			_, p, err := co.RunConvoRound(ctx)
+			if err != nil {
+				return participants, err
+			}
+			participants = append(participants, p)
+		}
+		return participants, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type chained struct {
+		cr      *convoRound
+		replies [][]byte
+	}
+	var (
+		// inflight bounds rounds announced but not yet delivered; slots
+		// are taken before announcing and released after fanout.
+		inflight  = make(chan struct{}, window)
+		collected = make(chan *convoRound, window)
+		delivered = make(chan chained, window)
+		errCh     = make(chan error, 2)
+	)
+
+	go func() {
+		defer close(collected)
+		for i := 0; i < n; i++ {
+			select {
+			case inflight <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			cr, err := co.collectConvo(ctx)
+			if err != nil {
+				// No cancel(): rounds already sitting in `collected`
+				// gathered real client submissions and must still be
+				// forwarded and fanned out.
+				errCh <- err
+				return
+			}
+			collected <- cr
+		}
+	}()
+
+	go func() {
+		// A single goroutine forwards rounds in collection order, so the
+		// chain's strictly-increasing round check stays satisfied.
+		defer close(delivered)
+		for cr := range collected {
+			if ctx.Err() != nil {
+				return
+			}
+			replies, err := co.chainConvo(cr)
+			if err != nil {
+				errCh <- err
+				cancel()
+				return
+			}
+			delivered <- chained{cr, replies}
+		}
+	}()
+
+	for d := range delivered {
+		co.fanoutConvo(d.cr, d.replies)
+		participants = append(participants, len(d.cr.clients))
+		<-inflight
+	}
+	select {
+	case err := <-errCh:
+		return participants, err
+	default:
+	}
+	if len(participants) < n {
+		// No stage reported an error, yet the pipeline stopped short:
+		// the context was cancelled while a stage was between error
+		// checks (e.g. blocked on the in-flight semaphore).
+		return participants, ctx.Err()
+	}
+	return participants, nil
 }
 
 // RunDialRound executes one dialing round: announce (with the bucket
@@ -394,6 +544,11 @@ func (co *Coordinator) chainRPC(proto wire.Proto, round uint64, m uint32, batch 
 		if err = conn.Send(&wire.Message{Kind: wire.KindBatch, Proto: proto, Round: round, M: m, Body: batch}); err == nil {
 			var resp *wire.Message
 			if resp, err = conn.Recv(); err == nil {
+				if resp.Kind == wire.KindError && resp.Proto == proto && resp.Round == round {
+					// The chain received the round and rejected it; no
+					// point retrying the same round.
+					return nil, fmt.Errorf("coordinator: chain reported: %s", resp.ErrorString())
+				}
 				if resp.Kind != wire.KindReplies || resp.Round != round {
 					return nil, fmt.Errorf("coordinator: unexpected chain response")
 				}

@@ -1,0 +1,255 @@
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/onion"
+	"vuvuzela/internal/wire"
+)
+
+// pipeClient is a raw wire client that answers every convo announce with
+// a real exchange request and records the partner message decoded from
+// each reply — letting the pipelining tests verify that replies stay
+// aligned to the right client and the right round while several rounds
+// are in flight.
+type pipeClient struct {
+	name   string
+	pub    box.PublicKey
+	priv   box.PrivateKey
+	secret *[32]byte // conversation secret with the partner
+	peer   *box.PublicKey
+
+	mu   sync.Mutex
+	got  map[uint64]string // round → partner message
+	errs []string
+	done chan struct{} // closed after `want` replies
+	want int
+}
+
+func newPipeClient(name string) *pipeClient {
+	pub, priv := box.KeyPairFromSeed([]byte(name))
+	return &pipeClient{name: name, pub: pub, priv: priv, got: make(map[uint64]string), done: make(chan struct{})}
+}
+
+func pairPipeClients(t *testing.T, a, b *pipeClient) {
+	t.Helper()
+	sa, err := convo.DeriveSecret(&a.priv, &b.pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := convo.DeriveSecret(&b.priv, &a.pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.secret, a.peer = sa, &b.pub
+	b.secret, b.peer = sb, &a.pub
+}
+
+// run answers announces and decodes replies until `want` replies arrive
+// or the connection drops.
+func (pc *pipeClient) run(conn *wire.Conn, chain []box.PublicKey, want int) {
+	pc.want = want
+	keys := make(map[uint64][]*[box.KeySize]byte)
+	fail := func(format string, args ...any) {
+		pc.mu.Lock()
+		pc.errs = append(pc.errs, fmt.Sprintf("%s: %s", pc.name, fmt.Sprintf(format, args...)))
+		pc.mu.Unlock()
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Kind {
+		case wire.KindAnnounce:
+			if msg.Proto != wire.ProtoConvo {
+				continue
+			}
+			text := fmt.Sprintf("r%d-%s", msg.Round, pc.name)
+			req, err := convo.BuildRequest(pc.secret, msg.Round, &pc.pub, []byte(text))
+			if err != nil {
+				fail("build: %v", err)
+				return
+			}
+			o, ks, err := onion.Wrap(req.Marshal(), msg.Round, 0, chain, nil)
+			if err != nil {
+				fail("wrap: %v", err)
+				return
+			}
+			keys[msg.Round] = ks
+			if err := conn.Send(&wire.Message{Kind: wire.KindSubmit, Proto: wire.ProtoConvo, Round: msg.Round, Body: [][]byte{o}}); err != nil {
+				return
+			}
+		case wire.KindReply:
+			if msg.Proto != wire.ProtoConvo || len(msg.Body) != 1 {
+				fail("bad reply shape for round %d", msg.Round)
+				continue
+			}
+			ks, ok := keys[msg.Round]
+			if !ok {
+				fail("reply for unknown round %d", msg.Round)
+				continue
+			}
+			delete(keys, msg.Round)
+			inner, err := onion.UnwrapReply(msg.Body[0], msg.Round, 0, ks)
+			if err != nil {
+				fail("unwrap round %d: %v", msg.Round, err)
+				continue
+			}
+			text, ok := convo.OpenReply(pc.secret, msg.Round, pc.peer, inner)
+			pc.mu.Lock()
+			if !ok {
+				pc.errs = append(pc.errs, fmt.Sprintf("%s: round %d reply did not decrypt as partner's", pc.name, msg.Round))
+			} else {
+				pc.got[msg.Round] = string(text)
+			}
+			n := len(pc.got) + len(pc.errs)
+			if n == pc.want {
+				close(pc.done)
+			}
+			pc.mu.Unlock()
+		}
+	}
+}
+
+// TestPipelinedRepliesAligned runs two conversing pairs through
+// overlapped rounds (window 3) and checks every client gets exactly its
+// partner's per-round message back — replies cannot leak across clients
+// or rounds even while three rounds are in flight.
+func TestPipelinedRepliesAligned(t *testing.T) {
+	const rounds = 6
+	r := newRig(t, Config{ConvoWindow: 3, SubmitTimeout: 2 * time.Second})
+
+	a1, a2 := newPipeClient("pipe-a1"), newPipeClient("pipe-a2")
+	b1, b2 := newPipeClient("pipe-b1"), newPipeClient("pipe-b2")
+	pairPipeClients(t, a1, a2)
+	pairPipeClients(t, b1, b2)
+	clients := []*pipeClient{a1, a2, b1, b2}
+	for i, pc := range clients {
+		conn := r.rawClient(t, i+1)
+		go pc.run(conn, r.chain, rounds)
+	}
+
+	participants, err := r.co.RunConvoRounds(context.Background(), rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(participants) != rounds {
+		t.Fatalf("%d rounds completed, want %d", len(participants), rounds)
+	}
+	for i, p := range participants {
+		if p != len(clients) {
+			t.Fatalf("round %d: %d participants, want %d", i+1, p, len(clients))
+		}
+	}
+
+	partner := map[*pipeClient]*pipeClient{a1: a2, a2: a1, b1: b2, b2: b1}
+	for _, pc := range clients {
+		select {
+		case <-pc.done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: timed out waiting for replies", pc.name)
+		}
+		pc.mu.Lock()
+		errs, got := pc.errs, pc.got
+		pc.mu.Unlock()
+		if len(errs) != 0 {
+			t.Fatalf("client errors: %v", errs)
+		}
+		for round := uint64(1); round <= rounds; round++ {
+			want := fmt.Sprintf("r%d-%s", round, partner[pc].name)
+			if got[round] != want {
+				t.Fatalf("%s round %d: got %q, want %q", pc.name, round, got[round], want)
+			}
+		}
+	}
+}
+
+// TestRunConvoRoundsSerial covers the degenerate window (0 → serial):
+// rounds complete one at a time with no clients connected.
+func TestRunConvoRoundsSerial(t *testing.T) {
+	r := newRig(t, Config{SubmitTimeout: 50 * time.Millisecond})
+	participants, err := r.co.RunConvoRounds(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(participants) != 3 {
+		t.Fatalf("%d rounds", len(participants))
+	}
+}
+
+// TestRunConvoRoundsEmptyPipelined: an idle system still completes
+// overlapped rounds (pure noise mixing) and keeps round numbers
+// strictly increasing through the chain.
+func TestRunConvoRoundsEmptyPipelined(t *testing.T) {
+	r := newRig(t, Config{ConvoWindow: 4, SubmitTimeout: 20 * time.Millisecond})
+	participants, err := r.co.RunConvoRounds(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(participants) != 8 {
+		t.Fatalf("%d rounds, want 8", len(participants))
+	}
+}
+
+// TestRunConvoRoundsCloseMidRun: closing the coordinator during a long
+// pipelined run surfaces an error promptly without deadlocking any
+// stage; rounds collected before the close still drain.
+func TestRunConvoRoundsCloseMidRun(t *testing.T) {
+	r := newRig(t, Config{ConvoWindow: 3, SubmitTimeout: 30 * time.Millisecond})
+	done := make(chan error, 1)
+	var parts []int
+	go func() {
+		p, err := r.co.RunConvoRounds(context.Background(), 10000)
+		parts = p
+		done <- err
+	}()
+	time.Sleep(150 * time.Millisecond)
+	r.co.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("closed mid-run but no error (completed %d rounds)", len(parts))
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("pipeline did not stop after Close")
+	}
+}
+
+// TestConvoWindowClamped: windows beyond the clients' reply-state depth
+// are clamped so pipelining can never outrun wire.MaxRoundsInFlight.
+func TestConvoWindowClamped(t *testing.T) {
+	r := newRig(t, Config{ConvoWindow: 100})
+	if got := r.co.cfg.ConvoWindow; got != wire.MaxRoundsInFlight {
+		t.Fatalf("ConvoWindow = %d, want clamped to %d", got, wire.MaxRoundsInFlight)
+	}
+}
+
+// TestRunConvoRoundsCancelled: cancelling the context aborts the
+// pipeline without deadlocking any stage.
+func TestRunConvoRoundsCancelled(t *testing.T) {
+	r := newRig(t, Config{ConvoWindow: 2, SubmitTimeout: 10 * time.Second})
+	_ = r.rawClient(t, 1) // connected but silent: rounds block on collection
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.co.RunConvoRounds(ctx, 5)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled pipeline returned no error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pipeline did not abort on cancellation")
+	}
+}

@@ -1,0 +1,130 @@
+package deaddrop
+
+import (
+	"encoding/binary"
+
+	"vuvuzela/internal/parallel"
+)
+
+// ShardedTable partitions one round's dead drops across independent
+// sub-tables by the leading bits of the drop ID, so the last server's
+// exchange step scales with cores instead of running through one map
+// (the horizontal-partitioning idea behind Atom's and Riposte's
+// million-user exchange/database steps). Because a drop's ID fully
+// determines its shard, both requests of a conversation land in the same
+// sub-table, and processing shards independently — in global arrival
+// order within each shard — yields byte-identical results to a single
+// Table.
+//
+// The zero value is not usable; call NewShardedTable.
+type ShardedTable struct {
+	tables []*Table
+	// route records, per global arrival index, which shard took the
+	// request and the slot it received there, so Exchange can merge the
+	// per-shard replies back into Add order.
+	route []shardSlot
+}
+
+type shardSlot struct{ shard, slot int }
+
+// NewShardedTable returns an empty table split into `shards` sub-tables
+// (any shards < 1 behaves as 1), with capacity hints for n requests.
+func NewShardedTable(shards, n int) *ShardedTable {
+	if shards < 1 {
+		shards = 1
+	}
+	st := &ShardedTable{
+		tables: make([]*Table, shards),
+		route:  make([]shardSlot, 0, n),
+	}
+	hint := n/shards + 1
+	for i := range st.tables {
+		st.tables[i] = NewTable(hint)
+	}
+	return st
+}
+
+// NumShards returns the number of sub-tables.
+func (st *ShardedTable) NumShards() int { return len(st.tables) }
+
+// ShardOf maps a drop ID to its shard: the leading 64 bits of the ID
+// reduced mod the shard count. IDs are uniform (they are hash outputs,
+// convo.DeadDropID), so shards balance for any shard count, including
+// non-powers of two.
+func (st *ShardedTable) ShardOf(id ID) int {
+	return int(binary.BigEndian.Uint64(id[:8]) % uint64(len(st.tables)))
+}
+
+// Add deposits a payload into the given drop's shard and returns the
+// request's global arrival index. Like Table.Add, payloads are not
+// copied. Add is not safe for concurrent use; AddBatch is the parallel
+// ingest path.
+func (st *ShardedTable) Add(id ID, payload []byte) int {
+	s := st.ShardOf(id)
+	idx := len(st.route)
+	st.route = append(st.route, shardSlot{s, st.tables[s].Add(id, payload)})
+	return idx
+}
+
+// AddBatch deposits ids[i]→payloads[i] for all i, in arrival order,
+// ingesting each shard concurrently on up to `workers` goroutines
+// (0 = GOMAXPROCS). Equivalent to calling Add in index order.
+func (st *ShardedTable) AddBatch(ids []ID, payloads [][]byte, workers int) {
+	n := len(ids)
+	if n != len(payloads) {
+		panic("deaddrop: ids/payloads length mismatch")
+	}
+	base := len(st.route)
+	st.route = append(st.route, make([]shardSlot, n)...)
+	// One cheap sequential routing pass builds each shard's request list
+	// in arrival order; the map inserts — the expensive part — then run
+	// per shard in parallel. Intra-drop arrival order is preserved within
+	// each shard, so pairing matches the sequential table, and shards
+	// write disjoint route entries, so no synchronization is needed.
+	byShard := make([][]int, len(st.tables))
+	hint := n/len(st.tables) + 1
+	for s := range byShard {
+		byShard[s] = make([]int, 0, hint)
+	}
+	for i := range ids {
+		s := st.ShardOf(ids[i])
+		byShard[s] = append(byShard[s], i)
+	}
+	parallel.For(len(st.tables), workers, func(s int) {
+		tab := st.tables[s]
+		for _, i := range byShard[s] {
+			st.route[base+i] = shardSlot{s, tab.Add(ids[i], payloads[i])}
+		}
+	})
+}
+
+// Len returns the number of requests added across all shards.
+func (st *ShardedTable) Len() int { return len(st.route) }
+
+// Exchange runs every shard's dead-drop matching concurrently on up to
+// `workers` goroutines (0 = GOMAXPROCS) and merges the replies back into
+// Add order. The result is byte-identical to a single Table fed the same
+// sequence.
+func (st *ShardedTable) Exchange(workers int) [][]byte {
+	perShard := make([][][]byte, len(st.tables))
+	parallel.For(len(st.tables), workers, func(s int) {
+		perShard[s] = st.tables[s].Exchange()
+	})
+	replies := make([][]byte, len(st.route))
+	for i, rs := range st.route {
+		replies[i] = perShard[rs.shard][rs.slot]
+	}
+	return replies
+}
+
+// Histogram sums the per-shard observable variables (§4.2); drops never
+// span shards, so the sums equal a single table's histogram.
+func (st *ShardedTable) Histogram() (m1, m2, more int) {
+	for _, tab := range st.tables {
+		a, b, c := tab.Histogram()
+		m1 += a
+		m2 += b
+		more += c
+	}
+	return m1, m2, more
+}

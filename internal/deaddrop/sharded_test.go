@@ -1,0 +1,196 @@
+package deaddrop
+
+import (
+	"bytes"
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShardedPairExchange(t *testing.T) {
+	st := NewShardedTable(8, 2)
+	a := st.Add(id(1), []byte("from alice"))
+	b := st.Add(id(1), []byte("from bob.."))
+	replies := st.Exchange(0)
+	if string(replies[a]) != "from bob.." || string(replies[b]) != "from alice" {
+		t.Fatalf("pair not exchanged: %q / %q", replies[a], replies[b])
+	}
+}
+
+func TestShardedSingleGetsZeros(t *testing.T) {
+	st := NewShardedTable(4, 1)
+	a := st.Add(id(1), []byte("lonely"))
+	replies := st.Exchange(2)
+	if !bytes.Equal(replies[a], make([]byte, 6)) {
+		t.Fatalf("reply not zero: %q", replies[a])
+	}
+}
+
+func TestShardOfDeterministicAndInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 8, 17} {
+		st := NewShardedTable(shards, 0)
+		for trial := 0; trial < 100; trial++ {
+			var d ID
+			rand.Read(d[:])
+			s := st.ShardOf(d)
+			if s < 0 || s >= shards {
+				t.Fatalf("shard %d out of range [0,%d)", s, shards)
+			}
+			if s != st.ShardOf(d) {
+				t.Fatal("ShardOf not deterministic")
+			}
+		}
+	}
+}
+
+func TestShardedZeroAndNegativeShardCount(t *testing.T) {
+	for _, shards := range []int{0, -3} {
+		st := NewShardedTable(shards, 4)
+		if st.NumShards() != 1 {
+			t.Fatalf("NumShards = %d, want 1", st.NumShards())
+		}
+		a := st.Add(id(1), []byte("x"))
+		b := st.Add(id(1), []byte("y"))
+		replies := st.Exchange(0)
+		if string(replies[a]) != "y" || string(replies[b]) != "x" {
+			t.Fatal("degenerate shard count broke pairing")
+		}
+	}
+}
+
+func TestShardedEmpty(t *testing.T) {
+	st := NewShardedTable(8, 0)
+	if got := st.Exchange(0); len(got) != 0 {
+		t.Fatalf("%d replies from empty table", len(got))
+	}
+	st.AddBatch(nil, nil, 0)
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+}
+
+// randomIDs builds n IDs drawn from a tiny space so drops collide often,
+// exercising pairing and >2-access handling across shard boundaries.
+func randomIDs(rng *mrand.Rand, n, space int) []ID {
+	ids := make([]ID, n)
+	for i := range ids {
+		// Spread the low-entropy value across the leading bytes so the
+		// mod-based router actually distributes these IDs.
+		var d ID
+		v := rng.Intn(space)
+		d[0], d[1] = byte(v), byte(v>>8)
+		d[7] = byte(v * 31)
+		ids[i] = d
+	}
+	return ids
+}
+
+// TestShardedEquivalence is the core property: for 1, 2, 8, and 17
+// shards, both Add and AddBatch produce byte-identical replies and
+// identical histograms to the sequential Table on the same sequence.
+func TestShardedEquivalence(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(42))
+	for _, shards := range []int{1, 2, 8, 17} {
+		for trial := 0; trial < 20; trial++ {
+			n := rng.Intn(200)
+			ids := randomIDs(rng, n, 1+rng.Intn(40))
+			payloads := make([][]byte, n)
+			for i := range payloads {
+				payloads[i] = make([]byte, 8)
+				rand.Read(payloads[i])
+			}
+
+			seq := NewTable(n)
+			for i := range ids {
+				seq.Add(ids[i], payloads[i])
+			}
+			want := seq.Exchange()
+
+			for _, batch := range []bool{false, true} {
+				st := NewShardedTable(shards, n)
+				if batch {
+					st.AddBatch(ids, payloads, 4)
+				} else {
+					for i := range ids {
+						if got := st.Add(ids[i], payloads[i]); got != i {
+							t.Fatalf("Add returned %d, want %d", got, i)
+						}
+					}
+				}
+				got := st.Exchange(4)
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d batch=%v: %d replies, want %d", shards, batch, len(got), len(want))
+				}
+				for i := range want {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Fatalf("shards=%d batch=%v trial=%d: reply %d differs", shards, batch, trial, i)
+					}
+				}
+				m1s, m2s, mores := st.Histogram()
+				m1, m2, more := seq.Histogram()
+				if m1s != m1 || m2s != m2 || mores != more {
+					t.Fatalf("shards=%d: histogram (%d,%d,%d) != (%d,%d,%d)", shards, m1s, m2s, mores, m1, m2, more)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEquivalenceQuick drives the same property from
+// testing/quick-generated assignments.
+func TestShardedEquivalenceQuick(t *testing.T) {
+	f := func(assign []uint8, shardSeed uint8) bool {
+		shards := []int{1, 2, 8, 17}[int(shardSeed)%4]
+		seq := NewTable(len(assign))
+		ids := make([]ID, len(assign))
+		payloads := make([][]byte, len(assign))
+		for i, a := range assign {
+			ids[i] = id(a % 32)
+			ids[i][7] = a % 32 * 5
+			payloads[i] = []byte{a, byte(i)}
+			seq.Add(ids[i], payloads[i])
+		}
+		want := seq.Exchange()
+
+		st := NewShardedTable(shards, len(assign))
+		st.AddBatch(ids, payloads, 0)
+		got := st.Exchange(0)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkShardedExchange64k(b *testing.B) {
+	const n = 1 << 16
+	payload := make([]byte, 256)
+	ids := make([]ID, n)
+	for j := 0; j < n/2; j++ {
+		var d ID
+		rand.Read(d[:])
+		ids[2*j], ids[2*j+1] = d, d
+	}
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = payload
+	}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "shards=1", 4: "shards=4", 16: "shards=16"}[shards], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := NewShardedTable(shards, n)
+				st.AddBatch(ids, payloads, 0)
+				st.Exchange(0)
+			}
+		})
+	}
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// Workers bounds the parallel crypto workers (0 = GOMAXPROCS).
 	Workers int
 
+	// Shards partitions the last server's dead-drop table by the leading
+	// bits of the drop ID, running the exchange as independent per-shard
+	// tables (deaddrop.ShardedTable). 0 or 1 keeps the single sequential
+	// table; only the last server reads this.
+	Shards int
+
 	// Exactly one of the following must be set unless this is the last
 	// server: NextAddr+Net for a networked successor, or NextLocal for
 	// in-process chaining.
@@ -177,7 +183,7 @@ func (s *Server) ConvoRound(round uint64, onions [][]byte) ([][]byte, error) {
 			m1, m2, more := convo.Histogram(fwd)
 			s.cfg.ConvoObserver(round, m1, m2, more)
 		}
-		replies = convo.Service{}.Process(round, fwd)
+		replies = convo.Service{Shards: s.cfg.Shards, Workers: s.cfg.Workers}.Process(round, fwd)
 	} else {
 		// Step 2: generate cover traffic wrapped for the rest of the
 		// chain.
@@ -185,14 +191,10 @@ func (s *Server) ConvoRound(round uint64, onions [][]byte) ([][]byte, error) {
 			gen := convo.NoiseGen{Dist: s.cfg.ConvoNoise, Src: s.cfg.NoiseSrc, Rand: s.cfg.NoiseRand}
 			payloads := gen.Generate()
 			noiseOnions := make([][]byte, len(payloads))
-			var wrapErr error
-			parallel.For(len(payloads), s.cfg.Workers, func(i int) {
+			wrapErr := parallel.ForErr(len(payloads), s.cfg.Workers, func(i int) error {
 				o, _, err := onion.Wrap(payloads[i], round, p+1, s.cfg.ChainPubs[p+1:], nil)
-				if err != nil {
-					wrapErr = err
-					return
-				}
 				noiseOnions[i] = o
+				return err
 			})
 			if wrapErr != nil {
 				return nil, fmt.Errorf("mixnet: wrapping noise: %w", wrapErr)
@@ -270,14 +272,10 @@ func (s *Server) DialRound(round uint64, m uint32, onions [][]byte) error {
 		gen := dial.NoiseGen{Dist: s.cfg.DialNoise, Src: s.cfg.NoiseSrc, Rand: s.cfg.NoiseRand}
 		payloads := gen.Generate(m)
 		noiseOnions := make([][]byte, len(payloads))
-		var wrapErr error
-		parallel.For(len(payloads), s.cfg.Workers, func(i int) {
+		wrapErr := parallel.ForErr(len(payloads), s.cfg.Workers, func(i int) error {
 			o, _, err := onion.Wrap(payloads[i], round, p+1, s.cfg.ChainPubs[p+1:], nil)
-			if err != nil {
-				wrapErr = err
-				return
-			}
 			noiseOnions[i] = o
+			return err
 		})
 		if wrapErr != nil {
 			return fmt.Errorf("mixnet: wrapping dial noise: %w", wrapErr)
@@ -307,8 +305,22 @@ func (s *Server) forwardDial(round uint64, m uint32, batch [][]byte) ([][]byte, 
 	return s.forwardWire(wire.ProtoDial, round, m, batch)
 }
 
+// RemoteError is a round failure reported by the successor through a
+// wire.KindError message — the round was received and rejected, as
+// opposed to the connection failing.
+type RemoteError struct {
+	Addr string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("mixnet: successor %s reported: %s", e.Addr, e.Msg)
+}
+
 // forwardWire performs the network RPC to the successor, lazily dialing
-// and redialing once on a stale connection.
+// and redialing once on a stale connection. A RemoteError is returned
+// as-is without retrying: the successor received the round and rejected
+// it, so resending the same round cannot succeed.
 func (s *Server) forwardWire(proto wire.Proto, round uint64, m uint32, batch [][]byte) ([][]byte, error) {
 	for attempt := 0; ; attempt++ {
 		conn, err := s.nextConn(proto)
@@ -318,6 +330,10 @@ func (s *Server) forwardWire(proto wire.Proto, round uint64, m uint32, batch [][
 		replies, err := s.rpc(conn, proto, round, m, batch)
 		if err == nil {
 			return replies, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return nil, err
 		}
 		s.dropConn(proto, conn)
 		if attempt == 1 {
@@ -334,6 +350,9 @@ func (s *Server) rpc(conn *wire.Conn, proto wire.Proto, round uint64, m uint32, 
 	resp, err := conn.Recv()
 	if err != nil {
 		return nil, err
+	}
+	if resp.Kind == wire.KindError && resp.Proto == proto && resp.Round == round {
+		return nil, &RemoteError{Addr: s.cfg.NextAddr, Msg: resp.ErrorString()}
 	}
 	if resp.Kind != wire.KindReplies || resp.Proto != proto || resp.Round != round {
 		return nil, fmt.Errorf("mixnet: unexpected response kind=%d proto=%d round=%d", resp.Kind, resp.Proto, resp.Round)
@@ -397,12 +416,16 @@ func (s *Server) handleConn(c *wire.Conn) {
 		case wire.ProtoConvo:
 			replies, err := s.ConvoRound(msg.Round, msg.Body)
 			if err != nil {
-				return
+				// Report the failure instead of closing the connection:
+				// the predecessor gets the cause, and later rounds can
+				// still use this connection.
+				resp = wire.ErrorMessage(msg.Proto, msg.Round, err)
+			} else {
+				resp.Body = replies
 			}
-			resp.Body = replies
 		case wire.ProtoDial:
 			if err := s.DialRound(msg.Round, msg.M, msg.Body); err != nil {
-				return
+				resp = wire.ErrorMessage(msg.Proto, msg.Round, err)
 			}
 		default:
 			return

@@ -45,3 +45,24 @@ func For(n, workers int, fn func(i int)) {
 	}
 	wg.Wait()
 }
+
+// ForErr is For with error collection: fn(i) errors are gathered per
+// index without shared writes, and the error of the lowest failing index
+// is returned (deterministic regardless of goroutine scheduling). All n
+// invocations run even if some fail — batch crypto must preserve batch
+// shape, so the caller decides whether one bad element aborts the round.
+func ForErr(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(n, workers, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -24,6 +26,58 @@ func TestForSum(t *testing.T) {
 	For(1000, 8, func(i int) { sum.Add(int64(i)) })
 	if got := sum.Load(); got != 999*1000/2 {
 		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestForErrNil(t *testing.T) {
+	var hits atomic.Int32
+	if err := ForErr(100, 8, func(int) error { hits.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 100 {
+		t.Fatalf("hits = %d", hits.Load())
+	}
+}
+
+func TestForErrReturnsLowestIndex(t *testing.T) {
+	// Several indexes fail concurrently; the lowest one's error must win,
+	// deterministically, across repeated runs and worker counts.
+	for _, w := range []int{1, 2, 8} {
+		for run := 0; run < 10; run++ {
+			err := ForErr(100, w, func(i int) error {
+				if i%7 == 3 { // fails at 3, 10, 17, ...
+					return fmt.Errorf("index %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "index 3" {
+				t.Fatalf("w=%d: err = %v, want index 3", w, err)
+			}
+		}
+	}
+}
+
+func TestForErrAllIndexesRunDespiteFailure(t *testing.T) {
+	var hits atomic.Int32
+	sentinel := errors.New("boom")
+	err := ForErr(50, 4, func(i int) error {
+		hits.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if hits.Load() != 50 {
+		t.Fatalf("only %d of 50 indexes ran", hits.Load())
+	}
+}
+
+func TestForErrEmpty(t *testing.T) {
+	if err := ForErr(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
 	}
 }
 

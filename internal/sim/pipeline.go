@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/coordinator"
+	"vuvuzela/internal/deaddrop"
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/onion"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// CollidingExchangeRequests builds n well-formed innermost exchange
+// requests as colliding pairs (plus one unpaired request if n is odd) —
+// the worst-case all-matched load for the last server's dead-drop table,
+// shared by the sharded-exchange benchmarks.
+func CollidingExchangeRequests(n int) [][]byte {
+	reqs := make([][]byte, n)
+	for j := 0; j < n/2; j++ {
+		a := make([]byte, convo.RequestSize)
+		rand.Read(a)
+		b := make([]byte, convo.RequestSize)
+		copy(b, a[:deaddrop.IDSize]) // same drop as a
+		rand.Read(b[deaddrop.IDSize:])
+		reqs[2*j], reqs[2*j+1] = a, b
+	}
+	if n%2 == 1 {
+		b := make([]byte, convo.RequestSize)
+		rand.Read(b)
+		reqs[n-1] = b
+	}
+	return reqs
+}
+
+// PipelinePoint is one measured multi-round run.
+type PipelinePoint struct {
+	Users   int
+	Rounds  int
+	Window  int
+	Elapsed time.Duration
+}
+
+// PerRound returns the average wall-clock per round.
+func (p PipelinePoint) PerRound() time.Duration {
+	if p.Rounds == 0 {
+		return 0
+	}
+	return p.Elapsed / time.Duration(p.Rounds)
+}
+
+// MeasurePipelinedRounds runs `rounds` back-to-back conversation rounds
+// through a full coordinator + in-process chain with `users` loopback
+// clients that answer every announce with an indistinguishable fake
+// request, and returns the wall-clock for the run. window is the
+// coordinator's in-flight bound: 1 reproduces the serial
+// round-at-a-time driver, ≥2 overlaps round r+1's collection (client
+// onion building and submission) with round r's chain traversal (server
+// crypto) — the round-pipelining half of the scalability tentpole.
+func MeasurePipelinedRounds(users, mu, servers, rounds, window int) (PipelinePoint, error) {
+	pubs, privs, err := mixnet.NewChainKeys(servers)
+	if err != nil {
+		return PipelinePoint{}, err
+	}
+	chain, err := mixnet.NewLocalChain(pubs, privs, mixnet.Config{
+		ConvoNoise: noise.Fixed{N: mu},
+	}, nil)
+	if err != nil {
+		return PipelinePoint{}, err
+	}
+	co, err := coordinator.New(coordinator.Config{
+		ChainLocal:    chain[0],
+		SubmitTimeout: 10 * time.Second,
+		ConvoWindow:   window,
+	})
+	if err != nil {
+		return PipelinePoint{}, err
+	}
+	defer co.Close()
+
+	mem := transport.NewMem()
+	l, err := mem.Listen("entry")
+	if err != nil {
+		return PipelinePoint{}, err
+	}
+	defer l.Close()
+	go co.Serve(l)
+
+	for i := 0; i < users; i++ {
+		raw, err := mem.Dial("entry")
+		if err != nil {
+			return PipelinePoint{}, err
+		}
+		conn := wire.NewConn(raw)
+		go func() {
+			defer conn.Close()
+			for {
+				msg, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				if msg.Kind != wire.KindAnnounce || msg.Proto != wire.ProtoConvo {
+					continue
+				}
+				req, err := convo.BuildRequest(nil, msg.Round, nil, nil)
+				if err != nil {
+					return
+				}
+				o, _, err := onion.Wrap(req.Marshal(), msg.Round, 0, pubs, nil)
+				if err != nil {
+					return
+				}
+				if err := conn.Send(&wire.Message{Kind: wire.KindSubmit, Proto: wire.ProtoConvo, Round: msg.Round, Body: [][]byte{o}}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for co.NumClients() < users {
+		if time.Now().After(deadline) {
+			return PipelinePoint{}, fmt.Errorf("sim: only %d of %d clients registered", co.NumClients(), users)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	participants, err := co.RunConvoRounds(context.Background(), rounds)
+	elapsed := time.Since(start)
+	if err != nil {
+		return PipelinePoint{}, err
+	}
+	if len(participants) != rounds {
+		return PipelinePoint{}, fmt.Errorf("sim: %d rounds completed, want %d", len(participants), rounds)
+	}
+	for r, p := range participants {
+		if p != users {
+			return PipelinePoint{}, fmt.Errorf("sim: round %d had %d participants, want %d", r+1, p, users)
+		}
+	}
+	return PipelinePoint{Users: users, Rounds: rounds, Window: window, Elapsed: elapsed}, nil
+}

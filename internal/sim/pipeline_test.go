@@ -1,0 +1,21 @@
+package sim
+
+import "testing"
+
+// TestMeasurePipelinedRounds runs the pipelined driver at tiny scale for
+// serial and overlapped windows; every round must complete with full
+// participation for the measurement to be meaningful.
+func TestMeasurePipelinedRounds(t *testing.T) {
+	for _, window := range []int{1, 3} {
+		pt, err := MeasurePipelinedRounds(4, 2, 2, 5, window)
+		if err != nil {
+			t.Fatalf("window=%d: %v", window, err)
+		}
+		if pt.Rounds != 5 || pt.Window != window || pt.Users != 4 {
+			t.Fatalf("window=%d: bad point %+v", window, pt)
+		}
+		if pt.PerRound() <= 0 {
+			t.Fatalf("window=%d: non-positive per-round latency", window)
+		}
+	}
+}

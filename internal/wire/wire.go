@@ -39,7 +39,32 @@ const (
 	KindBucketReq
 	// KindBucketResp: CDN → client. The requested bucket blob.
 	KindBucketResp
+	// KindError: server i+1 → server i. The round failed on the
+	// successor; Body[0] carries the error string. Sent in place of
+	// KindReplies so the predecessor sees the cause instead of
+	// diagnosing a bare EOF from a closed connection.
+	KindError
 )
+
+// ErrorMessage builds a KindError response for a failed round.
+func ErrorMessage(proto Proto, round uint64, err error) *Message {
+	return &Message{Kind: KindError, Proto: proto, Round: round, Body: [][]byte{[]byte(err.Error())}}
+}
+
+// ErrorString extracts the error text carried by a KindError message.
+func (m *Message) ErrorString() string {
+	if m.Kind != KindError || len(m.Body) == 0 || len(m.Body[0]) == 0 {
+		return "unknown remote error"
+	}
+	return string(m.Body[0])
+}
+
+// MaxRoundsInFlight bounds how many conversation rounds may be announced
+// before the oldest round's reply is delivered. Clients keep per-round
+// reply state for this many rounds; an entry server must never pipeline
+// deeper than this or clients would discard replies for rounds they have
+// already pruned.
+const MaxRoundsInFlight = 8
 
 // Proto identifies which protocol a round belongs to.
 type Proto byte

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"net"
 	"testing"
 	"testing/quick"
@@ -16,6 +17,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		{Kind: KindBucketReq, Proto: ProtoDial, Round: 1, Bucket: 5},
 		{Kind: KindBucketResp, Proto: ProtoDial, Round: 1, Bucket: 5, Body: [][]byte{make([]byte, 800)}},
 		{Kind: KindReplies, Proto: ProtoConvo, Round: 9, Body: nil},
+		{Kind: KindError, Proto: ProtoConvo, Round: 4, Body: [][]byte{[]byte("round not newer")}},
 	}
 	for _, m := range msgs {
 		got, err := Decode(m.Encode())
@@ -56,6 +58,30 @@ func TestDecodeQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestErrorMessageRoundTrip(t *testing.T) {
+	m := ErrorMessage(ProtoDial, 12, errors.New("dead drop table on fire"))
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindError || got.Proto != ProtoDial || got.Round != 12 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.ErrorString() != "dead drop table on fire" {
+		t.Fatalf("error string %q", got.ErrorString())
+	}
+	// Degenerate frames still yield a usable string.
+	for _, bad := range []*Message{
+		{Kind: KindError},
+		{Kind: KindError, Body: [][]byte{{}}},
+		{Kind: KindReplies, Body: [][]byte{[]byte("not an error")}},
+	} {
+		if s := bad.ErrorString(); s != "unknown remote error" {
+			t.Fatalf("degenerate ErrorString = %q", s)
+		}
 	}
 }
 

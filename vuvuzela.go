@@ -124,6 +124,14 @@ type Options struct {
 	SubmitTimeout time.Duration
 	// Workers bounds per-server crypto parallelism (0 = all cores).
 	Workers int
+	// Shards partitions the last server's dead-drop table into
+	// independent sub-tables keyed by the leading bits of the drop ID,
+	// parallelizing the exchange step (0 or 1 = one sequential table).
+	Shards int
+	// ConvoWindow is the number of conversation rounds RunConvoRounds
+	// may keep in flight at once: round r+1 collects submissions while
+	// round r traverses the chain (0 or 1 = strictly serial rounds).
+	ConvoWindow int
 }
 
 // DefaultConvoNoise is the paper's production conversation noise:
@@ -178,6 +186,7 @@ func NewInProcessNetwork(opts Options) (*Network, error) {
 		ConvoNoise: opts.ConvoNoise.dist(),
 		DialNoise:  opts.DialNoise.dist(),
 		Workers:    opts.Workers,
+		Shards:     opts.Shards,
 	}, store)
 	if err != nil {
 		return nil, err
@@ -189,6 +198,7 @@ func NewInProcessNetwork(opts Options) (*Network, error) {
 		AutoBucketsMu:  opts.DialNoise.Mu,
 		ConvoExchanges: opts.ConvoExchanges,
 		SubmitTimeout:  opts.SubmitTimeout,
+		ConvoWindow:    opts.ConvoWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -255,6 +265,14 @@ func (n *Network) NewClientWithKeys(pub PublicKey, priv PrivateKey) (*Client, er
 // clients and returns the round number and participant count.
 func (n *Network) RunConvoRound(ctx context.Context) (uint64, int, error) {
 	return n.co.RunConvoRound(ctx)
+}
+
+// RunConvoRounds executes `rounds` consecutive conversation rounds with
+// up to Options.ConvoWindow rounds in flight, overlapping round r+1's
+// collection with round r's chain traversal. It returns each round's
+// participant count.
+func (n *Network) RunConvoRounds(ctx context.Context, rounds int) ([]int, error) {
+	return n.co.RunConvoRounds(ctx, rounds)
 }
 
 // RunDialRound executes one dialing round.

@@ -108,9 +108,14 @@ func TestFullDialAndConverse(t *testing.T) {
 	})
 }
 
-// TestTimerDrivenRounds uses StartRounds.
+// TestTimerDrivenRounds uses StartRounds. Noise is kept small so a round
+// completes quickly even race-instrumented on a small CI box; the timer
+// logic under test does not depend on the noise volume.
 func TestTimerDrivenRounds(t *testing.T) {
-	net, err := NewInProcessNetwork(Options{})
+	net, err := NewInProcessNetwork(Options{
+		ConvoNoise: &NoiseParams{Mu: 10, B: 3},
+		DialNoise:  &NoiseParams{Mu: 5, B: 2},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
