@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet build test race shardtest bench clean
 
-check: vet build race
+check: vet build race shardtest
 
 vet:
 	$(GO) vet ./...
@@ -17,7 +17,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
+
+# The shard fan-out and fault-injection suites at full depth (the -short
+# race pass above runs them scaled down).
+shardtest:
+	$(GO) test -race -run 'Shard|Fault' -timeout 5m ./...
 
 # Short benchmark pass over the scalability-critical paths.
 bench:

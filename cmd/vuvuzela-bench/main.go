@@ -63,6 +63,8 @@ func main() {
 			attack()
 		case "shard":
 			shard()
+		case "shardnet":
+			shardnet()
 		case "pipeline":
 			pipeline()
 		case "all":
@@ -78,6 +80,7 @@ func main() {
 			buckets()
 			attack()
 			shard()
+			shardnet()
 			pipeline()
 		default:
 			usage()
@@ -86,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vuvuzela-bench [-measure] [-scale N] fig6|fig7|fig8|fig9|fig10|fig11|posterior|costs|bandwidth|attack|shard|pipeline|all")
+	fmt.Fprintln(os.Stderr, "usage: vuvuzela-bench [-measure] [-scale N] fig6|fig7|fig8|fig9|fig10|fig11|posterior|costs|bandwidth|attack|shard|shardnet|pipeline|all")
 	os.Exit(2)
 }
 
@@ -311,6 +314,37 @@ func shard() {
 	}
 	fmt.Printf("  (%d cores; the sharded series scales with cores and shows only\n", runtime.NumCPU())
 	fmt.Println("  partitioning overhead on a single-core machine)")
+}
+
+// shardnet times a full conversation round through a chain whose last
+// hop fans out to networked shard servers (in-memory wire), sequential
+// (1 shard) vs wider fan-outs — the end-to-end half of the horizontal
+// last-server scaling claim.
+func shardnet() {
+	header("networked shard fan-out: one round through a 2-server chain + N shard servers")
+	const (
+		users = 512
+		mu    = 30
+	)
+	fmt.Printf("  %d conversing users, µ=%d, in-memory transport:\n", users, mu)
+	var seq time.Duration
+	for _, shards := range []int{1, 2, 4, 8} {
+		pt, err := sim.MeasureShardNetRound(users, mu, 2, shards)
+		if err != nil {
+			fmt.Println("  error:", err)
+			return
+		}
+		label := fmt.Sprintf("shards=%d", shards)
+		speedup := ""
+		if shards == 1 {
+			seq = pt.Latency
+		} else if pt.Latency > 0 {
+			speedup = fmt.Sprintf("  (%.2fx vs 1 shard)", seq.Seconds()/pt.Latency.Seconds())
+		}
+		fmt.Printf("  %-10s %12v%s\n", label, pt.Latency.Round(time.Millisecond), speedup)
+	}
+	fmt.Printf("  (%d cores; each shard is its own process in production — gains\n", runtime.NumCPU())
+	fmt.Println("  need real machines, this verifies the fan-out plumbing and overhead)")
 }
 
 // pipeline compares serial vs overlapped round execution through the

@@ -16,6 +16,7 @@ import (
 	"vuvuzela/internal/config"
 	"vuvuzela/internal/coordinator"
 	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
 )
 
 func main() {
@@ -36,6 +37,16 @@ func main() {
 		SubmitTimeout: *submitTimeout,
 		ConvoInterval: *convoEvery,
 		DialInterval:  *dialEvery,
+		OnRoundError: func(proto wire.Proto, round uint64, err error) {
+			// Round failures are transient (the next tick retries with a
+			// fresh round), but a persistent cause — unreachable chain,
+			// dead dead-drop shard — must be visible to the operator.
+			name := "convo"
+			if proto == wire.ProtoDial {
+				name = "dial"
+			}
+			log.Printf("%s round %d failed: %v", name, round, err)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -35,7 +35,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  vuvuzela-keygen chain -servers N -out DIR [-host HOST] [-base-port PORT] [-mu MU] [-b B] [-dial-mu MU] [-dial-b B] [-dial-buckets M]
+  vuvuzela-keygen chain -servers N -out DIR [-shards K] [-host HOST] [-base-port PORT] [-mu MU] [-b B] [-dial-mu MU] [-dial-b B] [-dial-buckets M]
   vuvuzela-keygen user  -name NAME -out DIR`)
 	os.Exit(2)
 }
@@ -43,9 +43,10 @@ func usage() {
 func chainCmd(args []string) {
 	fs := flag.NewFlagSet("chain", flag.ExitOnError)
 	servers := fs.Int("servers", 3, "number of chain servers")
+	shards := fs.Int("shards", 0, "networked dead-drop shard servers behind the last server (0 = in-process exchange)")
 	out := fs.String("out", ".", "output directory")
 	host := fs.String("host", "127.0.0.1", "host for generated addresses")
-	basePort := fs.Int("base-port", 2719, "first server port (entry uses base-port-1, CDN uses base-port+servers)")
+	basePort := fs.Int("base-port", 2719, "first server port (entry uses base-port-1, CDN uses base-port+servers, shards follow the CDN)")
 	mu := fs.Float64("mu", 300000, "conversation noise mean µ per mixing server")
 	b := fs.Float64("b", 13800, "conversation noise scale b")
 	dialMu := fs.Float64("dial-mu", 13000, "dialing noise mean µ per bucket")
@@ -81,11 +82,29 @@ func chainCmd(args []string) {
 		}
 		fmt.Printf("wrote %s\n", keyPath)
 	}
+	// Shard servers take ports above the CDN and get key files named
+	// shard-K.key; -mode shard validates the key against the chain entry
+	// the same way chain servers do.
+	for i := 0; i < *shards; i++ {
+		pub, priv, err := box.GenerateKey(nil)
+		if err != nil {
+			fatal(err)
+		}
+		chain.Shards = append(chain.Shards, config.Server{
+			Addr:      fmt.Sprintf("%s:%d", *host, *basePort+*servers+1+i),
+			PublicKey: config.Key(pub),
+		})
+		keyPath := filepath.Join(*out, fmt.Sprintf("shard-%d.key", i))
+		if err := config.Save(keyPath, &config.ServerKey{Position: i, PrivateKey: config.Key(priv)}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", keyPath)
+	}
 	chainPath := filepath.Join(*out, "chain.json")
 	if err := config.Save(chainPath, chain); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d servers, entry %s)\n", chainPath, *servers, chain.EntryAddr)
+	fmt.Printf("wrote %s (%d servers, %d shards, entry %s)\n", chainPath, *servers, *shards, chain.EntryAddr)
 }
 
 func userCmd(args []string) {

@@ -1,10 +1,15 @@
-// vuvuzela-server runs one Vuvuzela chain server (paper Algorithm 2). The
-// last server in the chain additionally hosts the invitation CDN,
-// serving dialing buckets to clients.
+// vuvuzela-server runs one Vuvuzela server process.
+//
+// In the default chain mode it is one link of the mixnet (paper Algorithm
+// 2); the last server in the chain additionally hosts the invitation CDN
+// and the dead-drop exchange. When the chain config lists shard servers,
+// the last server instead fans the exchange out to them by drop-ID
+// prefix, and each shard runs as its own process in shard mode.
 //
 // Usage:
 //
 //	vuvuzela-server -chain deploy/chain.json -key deploy/server-0.key
+//	vuvuzela-server -chain deploy/chain.json -key deploy/shard-1.key -mode shard -shard-index 1
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"vuvuzela/internal/cdn"
 	"vuvuzela/internal/config"
@@ -24,9 +30,12 @@ import (
 func main() {
 	chainPath := flag.String("chain", "chain.json", "chain config file")
 	keyPath := flag.String("key", "", "server private key file")
+	mode := flag.String("mode", "chain", `"chain" runs a mixnet link; "shard" runs one dead-drop shard server`)
+	shardIndex := flag.Int("shard-index", -1, "this shard's index into the chain config's shards list (shard mode)")
 	fixedNoise := flag.Bool("fixed-noise", false, "add exactly µ noise instead of sampling Laplace (evaluation mode, §8.1)")
 	workers := flag.Int("workers", 0, "crypto worker goroutines (0 = all cores)")
-	shards := flag.Int("shards", 0, "dead-drop table shards on the last server (0 or 1 = one sequential table)")
+	shards := flag.Int("shards", 0, "in-process dead-drop sub-tables (0 or 1 = one sequential table); applies to the last server, or within each shard server")
+	shardTimeout := flag.Duration("shard-timeout", time.Minute, "per-round RPC timeout to each shard server (last server only; 0 = wait forever)")
 	flag.Parse()
 	if *keyPath == "" {
 		flag.Usage()
@@ -41,19 +50,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	switch *mode {
+	case "chain":
+		runChain(chain, key, *fixedNoise, *workers, *shards, *shardTimeout)
+	case "shard":
+		runShard(chain, key, *shardIndex, *workers, *shards)
+	default:
+		log.Fatalf("unknown -mode %q (want chain or shard)", *mode)
+	}
+}
+
+// checkKey refuses to run with a key that does not match the published
+// chain entry.
+func checkKey(priv box.PrivateKey, want config.Key, what string) {
+	pub, err := box.PublicKeyOf(&priv)
+	if err != nil || pub != box.PublicKey(want) {
+		log.Fatalf("private key does not match chain.json entry for %s", what)
+	}
+}
+
+func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, workers, shards int, shardTimeout time.Duration) {
 	pos := key.Position
 	if pos < 0 || pos >= len(chain.Servers) {
 		log.Fatalf("key position %d out of range for %d-server chain", pos, len(chain.Servers))
 	}
 	priv := box.PrivateKey(key.PrivateKey)
-	// Refuse to run with a key that does not match the published chain.
-	pub, err := box.PublicKeyOf(&priv)
-	if err != nil || pub != box.PublicKey(chain.Servers[pos].PublicKey) {
-		log.Fatalf("private key does not match chain.json entry for position %d", pos)
-	}
+	checkKey(priv, chain.Servers[pos].PublicKey, fmt.Sprintf("position %d", pos))
 
 	var convoNoise, dialNoise noise.Distribution
-	if *fixedNoise {
+	if fixedNoise {
 		convoNoise = noise.Fixed{N: int(chain.ConvoNoiseMu)}
 		dialNoise = noise.Fixed{N: int(chain.DialNoiseMu)}
 	} else {
@@ -67,8 +93,8 @@ func main() {
 		Priv:       priv,
 		ConvoNoise: convoNoise,
 		DialNoise:  dialNoise,
-		Workers:    *workers,
-		Shards:     *shards,
+		Workers:    workers,
+		Shards:     shards,
 		Net:        transport.TCP{},
 	}
 	last := pos == len(chain.Servers)-1
@@ -76,6 +102,8 @@ func main() {
 	if last {
 		store = cdn.NewStore(0)
 		cfg.Buckets = store
+		cfg.ShardAddrs = chain.ShardAddrs()
+		cfg.ShardTimeout = shardTimeout
 	} else {
 		cfg.NextAddr = chain.Servers[pos+1].Addr
 	}
@@ -105,10 +133,47 @@ func main() {
 	role := "mixing"
 	if last {
 		role = "last (dead drops)"
+		if n := len(chain.Shards); n > 0 {
+			role = fmt.Sprintf("last (routing dead drops to %d shards)", n)
+		}
 	}
 	log.Printf("vuvuzela server %d/%d (%s) listening on %s, convo noise µ=%.0f",
 		pos, len(chain.Servers), role, chain.Servers[pos].Addr, chain.ConvoNoiseMu)
 	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runShard(chain *config.Chain, key *config.ServerKey, index, workers, subshards int) {
+	if len(chain.Shards) == 0 {
+		log.Fatal("chain config lists no shard servers; generate one with vuvuzela-keygen chain -shards N")
+	}
+	if index < 0 {
+		index = key.Position // shard key files record their index as Position
+	}
+	if index < 0 || index >= len(chain.Shards) {
+		log.Fatalf("shard index %d out of range for %d shards", index, len(chain.Shards))
+	}
+	priv := box.PrivateKey(key.PrivateKey)
+	checkKey(priv, chain.Shards[index].PublicKey, fmt.Sprintf("shard %d", index))
+
+	ss, err := mixnet.NewShardServer(mixnet.ShardConfig{
+		Index:     index,
+		NumShards: len(chain.Shards),
+		Subshards: subshards,
+		Workers:   workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := transport.TCP{}.Listen(chain.Shards[index].Addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("vuvuzela dead-drop shard %d/%d listening on %s",
+		index, len(chain.Shards), chain.Shards[index].Addr)
+	if err := ss.Serve(l); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

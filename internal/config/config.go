@@ -57,6 +57,14 @@ type Chain struct {
 	// Servers lists the chain in order; clients onion-encrypt for all of
 	// them, entry connects to Servers[0].
 	Servers []Server `json:"servers"`
+	// Shards lists the last server's networked dead-drop shard servers
+	// (`vuvuzela-server -mode shard`), in shard-index order. Empty means
+	// the last server runs the exchange in-process. Each entry carries
+	// the shard's listen address and its long-term key (shard servers
+	// hold keys like chain servers do, so a deployment can authenticate
+	// and later encrypt the router↔shard leg). Clients never see shard
+	// servers; only the last server's fan-out uses this list.
+	Shards []Server `json:"shards,omitempty"`
 	// ConvoNoiseMu/B are the conversation noise parameters each mixing
 	// server applies.
 	ConvoNoiseMu float64 `json:"convo_noise_mu"`
@@ -83,6 +91,19 @@ func (c *Chain) CDNAddr() string {
 		return ""
 	}
 	return c.Servers[len(c.Servers)-1].CDNAddr
+}
+
+// ShardAddrs returns the dead-drop shard addresses in shard-index order,
+// or nil for an unsharded last server.
+func (c *Chain) ShardAddrs() []string {
+	if len(c.Shards) == 0 {
+		return nil
+	}
+	out := make([]string, len(c.Shards))
+	for i, s := range c.Shards {
+		out[i] = s.Addr
+	}
+	return out
 }
 
 // ServerKey is a server's private key file.

@@ -98,3 +98,37 @@ func TestKeyJSONErrors(t *testing.T) {
 		t.Fatal("non-string accepted")
 	}
 }
+
+// TestChainShardsRoundTrip: the shard-server list survives the JSON
+// round trip, in index order, and ShardAddrs extracts the fan-out
+// addresses (nil when the last server is unsharded).
+func TestChainShardsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pub, _ := box.KeyPairFromSeed([]byte("shard"))
+	chain := &Chain{
+		Servers: []Server{{Addr: "127.0.0.1:2719", PublicKey: Key(pub)}},
+		Shards: []Server{
+			{Addr: "127.0.0.1:2731", PublicKey: Key(pub)},
+			{Addr: "127.0.0.1:2732", PublicKey: Key(pub)},
+		},
+	}
+	path := filepath.Join(dir, "chain.json")
+	if err := Save(path, chain); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadChain(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := back.ShardAddrs()
+	if len(addrs) != 2 || addrs[0] != "127.0.0.1:2731" || addrs[1] != "127.0.0.1:2732" {
+		t.Fatalf("shard addrs lost: %v", addrs)
+	}
+	if back.Shards[1].PublicKey != Key(pub) {
+		t.Fatal("shard key lost")
+	}
+	unsharded := &Chain{Servers: chain.Servers}
+	if got := unsharded.ShardAddrs(); got != nil {
+		t.Fatalf("unsharded chain returned shard addrs %v", got)
+	}
+}

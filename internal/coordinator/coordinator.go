@@ -74,6 +74,15 @@ type Config struct {
 	// dialing rounds (§5.2, §8.3).
 	ConvoInterval time.Duration
 	DialInterval  time.Duration
+
+	// OnRoundError, if set, receives every round failure from timer mode
+	// (Start) — dial rounds included, whose errors were previously
+	// dropped on the floor. Timer mode keeps ticking either way (round
+	// failures are transient; the next tick starts a fresh round), but
+	// the operator now sees the cause, e.g. a chain RemoteError from a
+	// dead dead-drop shard. Shutdown cancellations are not reported.
+	// Callbacks run on the timer goroutine: return quickly.
+	OnRoundError func(proto wire.Proto, round uint64, err error)
 }
 
 // Coordinator is a running entry server.
@@ -588,19 +597,35 @@ func (co *Coordinator) dropChainConn(proto wire.Proto, conn *wire.Conn) {
 
 // Start drives rounds on timers until the context is cancelled: a
 // conversation round every ConvoInterval and a dialing round every
-// DialInterval (if set).
+// DialInterval (if set). Round failures are transient — the next tick
+// starts a fresh round — but each one is surfaced through
+// Config.OnRoundError so a persistent cause (an unreachable chain, a dead
+// dead-drop shard) is visible instead of silently swallowed.
 func (co *Coordinator) Start(ctx context.Context) {
 	if co.cfg.ConvoInterval > 0 {
 		go co.loop(ctx, co.cfg.ConvoInterval, func() {
-			_, _, err := co.RunConvoRound(ctx)
-			_ = err // round failures are transient; the next tick retries
+			round, _, err := co.RunConvoRound(ctx)
+			co.reportRoundError(wire.ProtoConvo, round, err)
 		})
 	}
 	if co.cfg.DialInterval > 0 {
 		go co.loop(ctx, co.cfg.DialInterval, func() {
-			_, _, _ = co.RunDialRound(ctx)
+			round, _, err := co.RunDialRound(ctx)
+			co.reportRoundError(wire.ProtoDial, round, err)
 		})
 	}
+}
+
+// reportRoundError forwards a timer-mode round failure to the configured
+// callback, filtering the cancellations that normal shutdown produces.
+func (co *Coordinator) reportRoundError(proto wire.Proto, round uint64, err error) {
+	if err == nil || co.cfg.OnRoundError == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	co.cfg.OnRoundError(proto, round, err)
 }
 
 func (co *Coordinator) loop(ctx context.Context, interval time.Duration, fn func()) {

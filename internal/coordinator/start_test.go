@@ -1,0 +1,86 @@
+package coordinator
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// roundFailure is one OnRoundError callback invocation.
+type roundFailure struct {
+	proto wire.Proto
+	round uint64
+	err   error
+}
+
+// TestStartSurfacesDialRoundErrors is the regression test for timer mode
+// silently discarding RunDialRound failures: with the chain unreachable,
+// both the dialing and conversation timers must report their round
+// errors through Config.OnRoundError instead of dropping them.
+func TestStartSurfacesDialRoundErrors(t *testing.T) {
+	failures := make(chan roundFailure, 16)
+	co, err := New(Config{
+		Net:           transport.NewMem(), // nothing listens: every chain RPC fails
+		ChainAddr:     "unreachable-chain",
+		SubmitTimeout: time.Millisecond,
+		ConvoInterval: 5 * time.Millisecond,
+		DialInterval:  5 * time.Millisecond,
+		OnRoundError: func(proto wire.Proto, round uint64, err error) {
+			failures <- roundFailure{proto, round, err}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	co.Start(ctx)
+
+	var gotDial, gotConvo bool
+	deadline := time.After(5 * time.Second)
+	for !gotDial || !gotConvo {
+		select {
+		case f := <-failures:
+			if f.err == nil {
+				t.Fatalf("callback with nil error: %+v", f)
+			}
+			if f.round == 0 {
+				t.Fatalf("callback without a round number: %+v", f)
+			}
+			switch f.proto {
+			case wire.ProtoDial:
+				gotDial = true
+			case wire.ProtoConvo:
+				gotConvo = true
+			default:
+				t.Fatalf("callback with unknown proto: %+v", f)
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for round errors (dial=%v convo=%v)", gotDial, gotConvo)
+		}
+	}
+}
+
+// TestStartNilCallbackStillTicks: without OnRoundError set, failing
+// timer rounds are still tolerated — the loop must not panic or stall.
+func TestStartNilCallbackStillTicks(t *testing.T) {
+	co, err := New(Config{
+		Net:           transport.NewMem(),
+		ChainAddr:     "unreachable-chain",
+		SubmitTimeout: time.Millisecond,
+		DialInterval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	co.Start(ctx)
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+}

@@ -47,12 +47,22 @@ func NewShardedTable(shards, n int) *ShardedTable {
 // NumShards returns the number of sub-tables.
 func (st *ShardedTable) NumShards() int { return len(st.tables) }
 
-// ShardOf maps a drop ID to its shard: the leading 64 bits of the ID
-// reduced mod the shard count. IDs are uniform (they are hash outputs,
-// convo.DeadDropID), so shards balance for any shard count, including
-// non-powers of two.
+// ShardOf maps a drop ID to its shard among `shards` partitions: the
+// leading 64 bits of the ID reduced mod the shard count. IDs are uniform
+// (they are hash outputs, convo.DeadDropID), so shards balance for any
+// shard count, including non-powers of two. This is the single routing
+// function shared by the in-process ShardedTable and the networked shard
+// fan-out, which is what makes the two paths partition identically.
+func ShardOf(id ID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(binary.BigEndian.Uint64(id[:8]) % uint64(shards))
+}
+
+// ShardOf maps a drop ID to its sub-table.
 func (st *ShardedTable) ShardOf(id ID) int {
-	return int(binary.BigEndian.Uint64(id[:8]) % uint64(len(st.tables)))
+	return ShardOf(id, len(st.tables))
 }
 
 // Add deposits a payload into the given drop's shard and returns the

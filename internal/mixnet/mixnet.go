@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"vuvuzela/internal/convo"
 	"vuvuzela/internal/crypto/box"
@@ -64,8 +65,21 @@ type Config struct {
 	// Shards partitions the last server's dead-drop table by the leading
 	// bits of the drop ID, running the exchange as independent per-shard
 	// tables (deaddrop.ShardedTable). 0 or 1 keeps the single sequential
-	// table; only the last server reads this.
+	// table; only the last server reads this. When ShardAddrs is set the
+	// exchange instead runs on networked shard servers and Shards is
+	// ignored (each shard server has its own Subshards setting).
 	Shards int
+
+	// ShardAddrs, set only on the last server, lists the networked
+	// dead-drop shard servers (`vuvuzela-server -mode shard`): the
+	// exchange is partitioned by drop-ID prefix and fanned out over Net
+	// instead of running in-process. One address is the degenerate case
+	// and remains byte-identical to the in-process path.
+	ShardAddrs []string
+	// ShardTimeout bounds each shard's per-round RPC (0 = wait forever).
+	// A shard that exceeds it aborts the round with a RemoteError naming
+	// the shard, instead of wedging the whole chain.
+	ShardTimeout time.Duration
 
 	// Exactly one of the following must be set unless this is the last
 	// server: NextAddr+Net for a networked successor, or NextLocal for
@@ -93,6 +107,9 @@ type Config struct {
 type Server struct {
 	cfg  Config
 	last bool
+	// router fans the last server's dead-drop exchange out to networked
+	// shard servers; nil for the in-process exchange.
+	router *ShardRouter
 
 	mu        sync.Mutex
 	lastRound map[wire.Proto]uint64
@@ -118,9 +135,21 @@ func NewServer(cfg Config) (*Server, error) {
 	if !last && cfg.NextLocal == nil && (cfg.NextAddr == "" || cfg.Net == nil) {
 		return nil, ErrNoSuccessor
 	}
+	var router *ShardRouter
+	if len(cfg.ShardAddrs) > 0 {
+		if !last {
+			return nil, errors.New("mixnet: only the last server may have shard servers")
+		}
+		r, err := NewShardRouter(cfg.Net, cfg.ShardAddrs, cfg.ShardTimeout)
+		if err != nil {
+			return nil, err
+		}
+		router = r
+	}
 	return &Server{
 		cfg:       cfg,
 		last:      last,
+		router:    router,
 		lastRound: make(map[wire.Proto]uint64),
 		next:      make(map[wire.Proto]*wire.Conn),
 		closeCh:   make(chan struct{}),
@@ -183,7 +212,18 @@ func (s *Server) ConvoRound(round uint64, onions [][]byte) ([][]byte, error) {
 			m1, m2, more := convo.Histogram(fwd)
 			s.cfg.ConvoObserver(round, m1, m2, more)
 		}
-		replies = convo.Service{Shards: s.cfg.Shards, Workers: s.cfg.Workers}.Process(round, fwd)
+		if s.router != nil {
+			// Networked fan-out: the exchange runs on the shard servers;
+			// a shard failure aborts the round with a RemoteError so the
+			// predecessor never blindly retries a consumed round.
+			exchanged, err := s.router.Exchange(round, fwd)
+			if err != nil {
+				return nil, err
+			}
+			replies = exchanged
+		} else {
+			replies = convo.Service{Shards: s.cfg.Shards, Workers: s.cfg.Workers}.Process(round, fwd)
+		}
 	} else {
 		// Step 2: generate cover traffic wrapped for the rest of the
 		// chain.
@@ -387,17 +427,24 @@ func (s *Server) dropConn(proto wire.Proto, conn *wire.Conn) {
 // Serve accepts connections from the predecessor (or the entry server for
 // server 0) and processes batches until the listener closes.
 func (s *Server) Serve(l net.Listener) error {
+	return serveLoop(l, s.closeCh, s.handleConn)
+}
+
+// serveLoop is the accept lifecycle shared by Server and ShardServer:
+// one handler goroutine per connection, and a listener closed after
+// Close reports a clean shutdown instead of an error.
+func serveLoop(l net.Listener, closeCh <-chan struct{}, handle func(*wire.Conn)) error {
 	for {
 		raw, err := l.Accept()
 		if err != nil {
 			select {
-			case <-s.closeCh:
+			case <-closeCh:
 				return nil
 			default:
 				return err
 			}
 		}
-		go s.handleConn(wire.NewConn(raw))
+		go handle(wire.NewConn(raw))
 	}
 }
 
@@ -441,6 +488,9 @@ func (s *Server) handleConn(c *wire.Conn) {
 func (s *Server) Close() error {
 	s.closed.Do(func() {
 		close(s.closeCh)
+		if s.router != nil {
+			s.router.Close()
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		for proto, c := range s.next {

@@ -1,0 +1,368 @@
+// Networked shard fan-out for the last hop of the chain: the last server's
+// dead-drop exchange — Vuvuzela's single scaling bottleneck (§8.2) — is
+// partitioned by drop-ID prefix across independent shard server processes,
+// the way Atom scales anonymity servers and Riposte scales write-PIR
+// servers horizontally. The ShardRouter runs inside the last chain server:
+// it splits each round's innermost exchange requests with deaddrop.ShardOf,
+// forwards every partition over the wire (KindShardRound), and merges the
+// shard replies back into exact request order, so the rest of the chain —
+// and the coordinator's round accounting — cannot tell a 1-process last
+// server from an N-machine one. N=1 is the degenerate case and is
+// byte-identical to the in-process path by construction.
+
+package mixnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/deaddrop"
+	"vuvuzela/internal/parallel"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// ShardConfig describes one networked dead-drop shard server.
+type ShardConfig struct {
+	// Index is this shard's 0-based position in the fan-out; the router
+	// sends it exactly the requests whose drop IDs map here.
+	Index int
+	// NumShards is the total shard count in the chain descriptor; frames
+	// carrying an index outside [0, NumShards) are rejected.
+	NumShards int
+	// Subshards splits this shard's own dead-drop table across cores
+	// (deaddrop.ShardedTable), compounding the horizontal fan-out with
+	// in-process parallelism. 0 or 1 keeps one sequential table.
+	Subshards int
+	// Workers bounds the goroutines used by the sub-table exchange
+	// (0 = GOMAXPROCS).
+	Workers int
+	// AllowRoundReuse disables the strictly-increasing round check
+	// (tests and adversary simulations only).
+	AllowRoundReuse bool
+}
+
+// ShardServer is one running dead-drop shard process
+// (`vuvuzela-server -mode shard`). It speaks only the shard leg of the
+// wire protocol: KindShardRound in, KindShardReply (or KindError) out.
+type ShardServer struct {
+	cfg ShardConfig
+
+	mu        sync.Mutex
+	lastRound uint64
+
+	closed  sync.Once
+	closeCh chan struct{}
+}
+
+// NewShardServer validates the configuration and returns a ShardServer.
+func NewShardServer(cfg ShardConfig) (*ShardServer, error) {
+	if cfg.NumShards < 1 {
+		return nil, errors.New("mixnet: shard server needs NumShards >= 1")
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.NumShards {
+		return nil, fmt.Errorf("mixnet: shard index %d out of range for %d shards", cfg.Index, cfg.NumShards)
+	}
+	return &ShardServer{cfg: cfg, closeCh: make(chan struct{})}, nil
+}
+
+// ExchangeRound runs this shard's slice of one round's dead-drop exchange
+// and returns one reply per request, in request order. Rounds must be
+// strictly increasing, mirroring the chain servers: a shard never
+// processes the same round twice, which is what makes any retry of a
+// delivered round fail cleanly instead of double-exchanging.
+func (s *ShardServer) ExchangeRound(round uint64, requests [][]byte) ([][]byte, error) {
+	if !s.cfg.AllowRoundReuse {
+		s.mu.Lock()
+		if round <= s.lastRound {
+			last := s.lastRound
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %d after %d", ErrRoundReplay, round, last)
+		}
+		s.lastRound = round
+		s.mu.Unlock()
+	}
+	svc := convo.Service{Shards: s.cfg.Subshards, Workers: s.cfg.Workers}
+	return svc.Process(round, requests), nil
+}
+
+// Serve accepts router connections and processes shard rounds until the
+// listener closes.
+func (s *ShardServer) Serve(l net.Listener) error {
+	return serveLoop(l, s.closeCh, s.handleConn)
+}
+
+func (s *ShardServer) handleConn(c *wire.Conn) {
+	defer c.Close()
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return
+		}
+		var resp *wire.Message
+		if err := wire.CheckShardRound(msg, uint32(s.cfg.Index), uint32(s.cfg.NumShards)); err != nil {
+			// Report the mismatch instead of closing: the router sees the
+			// cause, and a healthy next round can reuse the connection.
+			resp = wire.ErrorMessage(msg.Proto, msg.Round, err)
+		} else if replies, err := s.ExchangeRound(msg.Round, msg.Body); err != nil {
+			resp = wire.ErrorMessage(msg.Proto, msg.Round, err)
+		} else {
+			resp = wire.ShardReplyMessage(msg.Round, uint32(s.cfg.Index), replies)
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the server down; a Serve loop returns after its listener is
+// closed by the caller.
+func (s *ShardServer) Close() error {
+	s.closed.Do(func() { close(s.closeCh) })
+	return nil
+}
+
+// ShardRouter is the last chain server's fan-out client: it partitions
+// each round's innermost exchange requests by drop-ID prefix, forwards
+// every partition to its shard server concurrently, and merges the
+// replies back into exact request order.
+type ShardRouter struct {
+	net     transport.Network
+	addrs   []string
+	timeout time.Duration
+
+	mu    sync.Mutex
+	conns map[int]*shardConn
+}
+
+// shardConn pairs the framed connection with the raw one so per-round
+// read deadlines can be set (wire.Conn does not expose the underlying
+// net.Conn).
+type shardConn struct {
+	raw net.Conn
+	c   *wire.Conn
+}
+
+// NewShardRouter returns a router over the given shard addresses.
+// timeout bounds each shard's per-round RPC (0 = wait forever);
+// connections are dialed lazily and kept across rounds.
+func NewShardRouter(network transport.Network, addrs []string, timeout time.Duration) (*ShardRouter, error) {
+	if network == nil {
+		return nil, errors.New("mixnet: shard router needs a network")
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("mixnet: shard router needs at least one shard address")
+	}
+	return &ShardRouter{
+		net:     network,
+		addrs:   addrs,
+		timeout: timeout,
+		conns:   make(map[int]*shardConn),
+	}, nil
+}
+
+// NumShards returns the fan-out width.
+func (r *ShardRouter) NumShards() int { return len(r.addrs) }
+
+// Exchange performs one round's dead-drop exchange across the shard
+// servers and returns one reply per request, aligned with the input.
+// Malformed requests (wrong size) are answered locally with zero replies,
+// exactly as convo.Service does, so the networked path stays
+// byte-identical to the sequential one.
+//
+// Any shard failure aborts the round with a *RemoteError naming the
+// shard: by then at least one shard has consumed the round number, so the
+// predecessor must not blindly retry — the same contract as a failed
+// chain hop. The failed shard's connection is dropped and redialed lazily
+// on the next round.
+func (r *ShardRouter) Exchange(round uint64, requests [][]byte) ([][]byte, error) {
+	n := len(r.addrs)
+	// Partition by drop-ID prefix, preserving arrival order within each
+	// shard — the property that makes per-shard pairing identical to the
+	// global table's.
+	shardOf := make([]int, len(requests))
+	subIdx := make([]int, len(requests))
+	subs := make([][][]byte, n)
+	for i, b := range requests {
+		if len(b) != convo.RequestSize {
+			shardOf[i] = -1
+			continue
+		}
+		var id deaddrop.ID
+		copy(id[:], b[:deaddrop.IDSize])
+		s := deaddrop.ShardOf(id, n)
+		shardOf[i] = s
+		subIdx[i] = len(subs[s])
+		subs[s] = append(subs[s], b)
+	}
+
+	// Fan out with one goroutine per shard: the RPCs are network-bound,
+	// so the width must not be clamped to GOMAXPROCS. ForErr returns the
+	// lowest failing shard's error, deterministically.
+	perShard := make([][][]byte, n)
+	err := parallel.ForErr(n, n, func(s int) error {
+		replies, err := r.rpc(s, round, subs[s])
+		if err != nil {
+			return &RemoteError{Addr: r.addrs[s], Msg: fmt.Sprintf("shard %d: %v", s, err)}
+		}
+		perShard[s] = replies
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]byte, len(requests))
+	for i := range requests {
+		if shardOf[i] < 0 {
+			out[i] = make([]byte, convo.SealedSize)
+			continue
+		}
+		out[i] = perShard[shardOf[i]][subIdx[i]]
+	}
+	return out, nil
+}
+
+// rpc runs one shard's round trip. The configured timeout covers the
+// whole exchange — send and receive — via a connection deadline: a shard
+// that accepts bytes but never drains them (full TCP window, stopped
+// process) stalls the Send, and without the deadline that would wedge
+// the fan-out barrier and the entire chain behind it. A Send failure
+// redials once and retries — a stale connection from a shard restart
+// typically surfaces as a write error before the frame reaches the peer,
+// and even if it did arrive, the shard's strictly-increasing round check
+// turns the retry into a clean rejection rather than a double exchange.
+// A failure after the frame is in flight (Recv error, timeout, bad
+// reply) is never retried: the shard may have consumed the round.
+func (r *ShardRouter) rpc(s int, round uint64, sub [][]byte) ([][]byte, error) {
+	for attempt := 0; ; attempt++ {
+		conn, err := r.conn(s)
+		if err != nil {
+			return nil, err
+		}
+		if r.timeout > 0 {
+			conn.raw.SetDeadline(time.Now().Add(r.timeout))
+		}
+		if err := conn.c.Send(wire.ShardRoundMessage(round, uint32(s), sub)); err != nil {
+			r.drop(s, conn)
+			// A timed-out write means the shard is up but not draining;
+			// redialing would just burn a second full timeout on the same
+			// stalled peer. Only a fast write error (stale connection from
+			// a shard restart) is worth one retry.
+			if attempt == 1 || errors.Is(err, os.ErrDeadlineExceeded) {
+				return nil, err
+			}
+			continue
+		}
+		return r.recvReply(s, conn, round, len(sub))
+	}
+}
+
+func (r *ShardRouter) recvReply(s int, conn *shardConn, round uint64, want int) ([][]byte, error) {
+	resp, err := conn.c.Recv()
+	if r.timeout > 0 {
+		conn.raw.SetDeadline(time.Time{})
+	}
+	if err != nil {
+		r.drop(s, conn)
+		return nil, err
+	}
+	if resp.Kind == wire.KindError && resp.Round == round {
+		// The shard received the round and rejected it; the connection
+		// stays usable for the next round.
+		return nil, errors.New(resp.ErrorString())
+	}
+	if err := wire.CheckShardReply(resp, round, uint32(s), want); err != nil {
+		// Desynchronized stream (stale round, duplicate reply, wrong
+		// shard): drop the connection so the next round starts clean.
+		r.drop(s, conn)
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// conn returns shard s's connection, dialing lazily. The dial runs
+// outside the router mutex — a slow connect to one shard must not block
+// the other shards' goroutines — and is bounded by the router timeout,
+// since a blackholed address would otherwise hold the round for the OS
+// connect timeout regardless of ShardTimeout.
+func (r *ShardRouter) conn(s int) (*shardConn, error) {
+	r.mu.Lock()
+	if c := r.conns[s]; c != nil {
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+
+	raw, err := r.dial(r.addrs[s])
+	if err != nil {
+		return nil, fmt.Errorf("dialing %s: %w", r.addrs[s], err)
+	}
+	c := &shardConn{raw: raw, c: wire.NewConn(raw)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing := r.conns[s]; existing != nil {
+		// Lost a race with a concurrent dial to the same shard.
+		raw.Close()
+		return existing, nil
+	}
+	r.conns[s] = c
+	return c, nil
+}
+
+// dial bounds Network.Dial by the router timeout. The Network interface
+// has no cancellation, so on timeout the in-flight dial is abandoned to
+// a drainer goroutine that closes the connection if the connect ever
+// completes — bounded in practice by the OS connect timeout.
+func (r *ShardRouter) dial(addr string) (net.Conn, error) {
+	if r.timeout <= 0 {
+		return r.net.Dial(addr)
+	}
+	type result struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		c, err := r.net.Dial(addr)
+		ch <- result{c, err}
+	}()
+	t := time.NewTimer(r.timeout)
+	defer t.Stop()
+	select {
+	case res := <-ch:
+		return res.c, res.err
+	case <-t.C:
+		go func() {
+			if res := <-ch; res.c != nil {
+				res.c.Close()
+			}
+		}()
+		return nil, fmt.Errorf("connect timeout after %v", r.timeout)
+	}
+}
+
+func (r *ShardRouter) drop(s int, conn *shardConn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conns[s] == conn {
+		conn.c.Close()
+		delete(r.conns, s)
+	}
+}
+
+// Close drops all shard connections.
+func (r *ShardRouter) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for s, c := range r.conns {
+		c.c.Close()
+		delete(r.conns, s)
+	}
+	return nil
+}

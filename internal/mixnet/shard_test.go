@@ -1,0 +1,381 @@
+package mixnet
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	mrand "math/rand"
+	"testing"
+	"time"
+
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/deaddrop"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// startShards launches n shard servers on a fresh in-memory network and
+// returns the network, their addresses, and a shutdown func.
+func startShards(t testing.TB, n, subshards int) (*transport.Mem, []string, func()) {
+	t.Helper()
+	mem := transport.NewMem()
+	addrs := make([]string, n)
+	var stops []func()
+	for i := 0; i < n; i++ {
+		ss, err := NewShardServer(ShardConfig{Index: i, NumShards: n, Subshards: subshards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addrName(i)
+		l, err := mem.Listen(addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		go ss.Serve(l)
+		stops = append(stops, func() { l.Close(); ss.Close() })
+	}
+	return mem, addrs, func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+func addrName(i int) string {
+	return string(rune('a'+i)) + "-shard"
+}
+
+// mixedRequests produces a batch mixing well-formed requests over a small
+// (colliding) drop space with malformed requests of assorted wrong
+// lengths — the same adversarial shape the in-process equivalence suite
+// uses.
+func mixedRequests(rng *mrand.Rand, n int) [][]byte {
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		switch rng.Intn(8) {
+		case 0: // malformed: truncated, oversized, or empty
+			wrong := []int{0, 1, convo.RequestSize - 1, convo.RequestSize + 1, 3 * convo.RequestSize}[rng.Intn(5)]
+			b := make([]byte, wrong)
+			rand.Read(b)
+			reqs[i] = b
+		default:
+			b := make([]byte, convo.RequestSize)
+			rand.Read(b)
+			// Small drop space → frequent collisions (pairs, triples, ...).
+			v := rng.Intn(24)
+			b[0], b[1] = byte(v), byte(v>>8)
+			for j := 2; j < deaddrop.IDSize; j++ {
+				b[j] = byte(v * (j + 7))
+			}
+			reqs[i] = b
+		}
+	}
+	return reqs
+}
+
+// TestShardRouterEquivalence is the tentpole's correctness core: the
+// networked fan-out produces byte-identical replies to the sequential
+// table and to the in-process sharded table, for 1, 2, 8, and a
+// non-power-of-two shard count, on batches with colliding and malformed
+// drop IDs.
+func TestShardRouterEquivalence(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(11))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for _, shards := range []int{1, 2, 8, 5} {
+		mem, addrs, stop := startShards(t, shards, 2)
+		router, err := NewShardRouter(mem, addrs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < trials; trial++ {
+			round := uint64(trial + 1)
+			reqs := mixedRequests(rng, rng.Intn(200))
+			want := convo.Service{}.Process(round, reqs)
+			inproc := convo.Service{Shards: shards}.Process(round, reqs)
+			got, err := router.Exchange(round, reqs)
+			if err != nil {
+				t.Fatalf("shards=%d trial=%d: %v", shards, trial, err)
+			}
+			if len(got) != len(want) || len(inproc) != len(want) {
+				t.Fatalf("shards=%d trial=%d: reply counts %d/%d/%d", shards, trial, len(got), len(inproc), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("shards=%d trial=%d: networked reply %d differs from sequential", shards, trial, i)
+				}
+				if !bytes.Equal(inproc[i], want[i]) {
+					t.Fatalf("shards=%d trial=%d: in-process reply %d differs from sequential", shards, trial, i)
+				}
+			}
+		}
+		router.Close()
+		stop()
+	}
+}
+
+// TestShardRouterEmptyRound: an empty batch still fans out (every shard
+// sees every round) and merges to zero replies.
+func TestShardRouterEmptyRound(t *testing.T) {
+	mem, addrs, stop := startShards(t, 3, 0)
+	defer stop()
+	router, err := NewShardRouter(mem, addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	replies, err := router.Exchange(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 0 {
+		t.Fatalf("%d replies for empty round", len(replies))
+	}
+}
+
+// TestShardRoundReplayRejected: a shard refuses to process the same round
+// twice, and the router surfaces that as a RemoteError naming the shard —
+// the guard that makes retrying a consumed round fail cleanly.
+func TestShardRoundReplayRejected(t *testing.T) {
+	mem, addrs, stop := startShards(t, 2, 0)
+	defer stop()
+	router, err := NewShardRouter(mem, addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	reqs := mixedRequests(mrand.New(mrand.NewSource(3)), 40)
+	if _, err := router.Exchange(5, reqs); err != nil {
+		t.Fatal(err)
+	}
+	_, err = router.Exchange(5, reqs)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("replayed round returned %v, want RemoteError", err)
+	}
+	// The connection must remain usable for the next (valid) round.
+	if _, err := router.Exchange(6, reqs); err != nil {
+		t.Fatalf("round after replay rejection: %v", err)
+	}
+}
+
+// TestShardMisroutedFrameRejected: a shard server rejects frames whose
+// index is out of range or routed to the wrong shard, without closing the
+// connection.
+func TestShardMisroutedFrameRejected(t *testing.T) {
+	mem, _, stop := startShards(t, 4, 0)
+	defer stop()
+	raw, err := mem.Dial(addrName(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := wire.NewConn(raw)
+	defer conn.Close()
+
+	for _, shard := range []uint32{0, 3, 4, 99} {
+		if err := conn.Send(wire.ShardRoundMessage(uint64(shard)+1, shard, nil)); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.Recv()
+		if err != nil {
+			t.Fatalf("shard closed connection on misrouted frame: %v", err)
+		}
+		if resp.Kind != wire.KindError {
+			t.Fatalf("misrouted frame for shard %d accepted: kind %d", shard, resp.Kind)
+		}
+	}
+	// A correctly routed round still works on the same connection.
+	if err := conn.Send(wire.ShardRoundMessage(100, 2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Recv()
+	if err != nil || resp.Kind != wire.KindShardReply {
+		t.Fatalf("valid round after misroutes: kind=%v err=%v", resp, err)
+	}
+}
+
+// TestShardDuplicateReplyDesync: a buggy/evil shard that sends two
+// replies for one round desynchronizes its stream; the router must detect
+// the stale frame on the next round, fail that round, and recover on the
+// one after by redialing.
+func TestShardDuplicateReplyDesync(t *testing.T) {
+	mem := transport.NewMem()
+	l, err := mem.Listen("evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		rounds := 0
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Serve connections serially: the router holds one at a time.
+			conn := wire.NewConn(raw)
+			for {
+				msg, err := conn.Recv()
+				if err != nil {
+					break
+				}
+				replies := make([][]byte, len(msg.Body))
+				for i := range replies {
+					replies[i] = make([]byte, convo.SealedSize)
+				}
+				rounds++
+				if rounds == 2 {
+					// Desync: replay the previous round's reply frame
+					// ahead of the real one (a duplicate shard reply).
+					if err := conn.Send(wire.ShardReplyMessage(msg.Round-1, msg.ShardIndex(), replies)); err != nil {
+						break
+					}
+				}
+				if err := conn.Send(wire.ShardReplyMessage(msg.Round, msg.ShardIndex(), replies)); err != nil {
+					break
+				}
+			}
+			conn.Close()
+		}
+	}()
+
+	router, err := NewShardRouter(mem, []string{"evil"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	reqs := mixedRequests(mrand.New(mrand.NewSource(9)), 10)
+	if _, err := router.Exchange(1, reqs); err != nil {
+		t.Fatalf("round 1: %v", err)
+	}
+	// Round 2 reads the duplicated round-1 frame: stale round → error.
+	_, err = router.Exchange(2, reqs)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("round 2 against desynced stream returned %v, want RemoteError", err)
+	}
+	// Round 3 redials a clean connection.
+	if _, err := router.Exchange(3, reqs); err != nil {
+		t.Fatalf("round 3 after desync recovery: %v", err)
+	}
+}
+
+// TestShardReplyCountMismatchRejected: a shard returning the wrong number
+// of replies must fail the round rather than misalign the merge.
+func TestShardReplyCountMismatchRejected(t *testing.T) {
+	mem := transport.NewMem()
+	l, err := mem.Listen("short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		raw, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn := wire.NewConn(raw)
+		defer conn.Close()
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			// One reply too few.
+			replies := make([][]byte, 0, len(msg.Body))
+			for i := 0; i+1 < len(msg.Body); i++ {
+				replies = append(replies, make([]byte, convo.SealedSize))
+			}
+			conn.Send(wire.ShardReplyMessage(msg.Round, msg.ShardIndex(), replies))
+		}
+	}()
+
+	router, err := NewShardRouter(mem, []string{"short"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	reqs := mixedRequests(mrand.New(mrand.NewSource(4)), 12)
+	_, err = router.Exchange(1, reqs)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("short reply batch returned %v, want RemoteError", err)
+	}
+}
+
+// TestShardSendStallTimesOut: the per-shard timeout must cover the send
+// leg too — a shard that accepts the connection but never drains bytes
+// (stopped process, full TCP window) stalls the router's write, and
+// without a write deadline the fan-out barrier would wedge the whole
+// chain forever.
+func TestShardSendStallTimesOut(t *testing.T) {
+	mem := transport.NewMem()
+	l, err := mem.Listen("stalled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan struct{}, 4)
+	go func() {
+		for {
+			// Accept and hold the connection without ever reading: every
+			// byte the router writes into the pipe blocks.
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- struct{}{}
+			defer c.Close()
+		}
+	}()
+
+	router, err := NewShardRouter(mem, []string{"stalled"}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	start := time.Now()
+	_, err = router.Exchange(1, mixedRequests(mrand.New(mrand.NewSource(8)), 16))
+	elapsed := time.Since(start)
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("stalled send returned %v, want RemoteError", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("stalled send held the round for %v with a 150ms timeout", elapsed)
+	}
+	<-accepted
+}
+
+// TestShardConfigValidation covers constructor error paths.
+func TestShardConfigValidation(t *testing.T) {
+	if _, err := NewShardServer(ShardConfig{Index: 0, NumShards: 0}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := NewShardServer(ShardConfig{Index: 3, NumShards: 3}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := NewShardRouter(nil, []string{"x"}, 0); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := NewShardRouter(transport.NewMem(), nil, 0); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+	pubs, privs, _ := NewChainKeys(2)
+	if _, err := NewServer(Config{
+		Position: 0, ChainPubs: pubs, Priv: privs[0],
+		Net: transport.NewMem(), NextAddr: "next", ShardAddrs: []string{"s0"},
+	}); err == nil {
+		t.Fatal("shard addresses on a non-last server accepted")
+	}
+	if _, err := NewServer(Config{
+		Position: 1, ChainPubs: pubs, Priv: privs[1], ShardAddrs: []string{"s0"},
+	}); err == nil {
+		t.Fatal("shard addresses without a network accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a function to defer:
+// it fails the test if the count has not settled back to the baseline
+// within a grace period — a dependency-free goleak-style guard for the
+// harnesses that spawn server, shard, and connection goroutines. Cleanly
+// shut networks must leave nothing behind; a hung shard handler or an
+// unclosed listener shows up here as a stack dump.
+func LeakCheck(t testing.TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("sim: goroutine leak: %d goroutines, started with %d\n%s",
+			runtime.NumGoroutine(), base, buf[:n])
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/transport"
+)
+
+// ShardNetConfig describes an in-memory chain whose last server fans the
+// dead-drop exchange out to networked shard servers — the multi-machine
+// last-hop topology, runnable inside one test process.
+type ShardNetConfig struct {
+	// Servers is the chain length (>= 1).
+	Servers int
+	// Shards is the number of networked shard servers (>= 1).
+	Shards int
+	// Mu is the fixed conversation noise per mixing server (0 = none).
+	Mu int
+	// Subshards splits each shard server's own table across cores.
+	Subshards int
+	// Workers bounds each server's crypto/exchange goroutines.
+	Workers int
+	// ShardTimeout bounds each shard RPC (0 = wait forever).
+	ShardTimeout time.Duration
+	// Net is the network the shard servers listen on; nil means a fresh
+	// in-memory transport.Mem.
+	Net transport.Network
+	// DialNet is what the last server dials shards through; nil means
+	// Net. Wrap Net in a transport.Faulty here to inject shard faults
+	// while the listeners stay healthy.
+	DialNet transport.Network
+}
+
+// ShardNet is a running in-memory multi-shard chain.
+type ShardNet struct {
+	// Pubs is the chain's public keys, for building client onions.
+	Pubs []box.PublicKey
+	// Chain is the server chain; Chain[0] is the entry-facing head and
+	// Chain[len-1] the shard router.
+	Chain []*mixnet.Server
+	// Shards are the networked shard servers, by index.
+	Shards []*mixnet.ShardServer
+	// Addrs are the shard listen addresses, by index.
+	Addrs []string
+
+	listeners []net.Listener
+}
+
+// NewShardNet starts the shard servers on their listeners and builds the
+// chain: positions 0..n-2 feed the next position in-process; the last
+// position routes the exchange to the shards over the (in-memory) wire.
+func NewShardNet(cfg ShardNetConfig) (*ShardNet, error) {
+	if cfg.Servers < 1 || cfg.Shards < 1 {
+		return nil, fmt.Errorf("sim: shard net needs >= 1 server and shard, got %d/%d", cfg.Servers, cfg.Shards)
+	}
+	if cfg.Net == nil {
+		cfg.Net = transport.NewMem()
+	}
+	if cfg.DialNet == nil {
+		cfg.DialNet = cfg.Net
+	}
+
+	pubs, privs, err := mixnet.NewChainKeys(cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+	sn := &ShardNet{Pubs: pubs}
+
+	for i := 0; i < cfg.Shards; i++ {
+		ss, err := mixnet.NewShardServer(mixnet.ShardConfig{
+			Index:     i,
+			NumShards: cfg.Shards,
+			Subshards: cfg.Subshards,
+			Workers:   cfg.Workers,
+		})
+		if err != nil {
+			sn.Close()
+			return nil, err
+		}
+		addr := fmt.Sprintf("shard-%d", i)
+		l, err := cfg.Net.Listen(addr)
+		if err != nil {
+			sn.Close()
+			return nil, err
+		}
+		go ss.Serve(l)
+		sn.Shards = append(sn.Shards, ss)
+		sn.Addrs = append(sn.Addrs, addr)
+		sn.listeners = append(sn.listeners, l)
+	}
+
+	sn.Chain = make([]*mixnet.Server, cfg.Servers)
+	for i := cfg.Servers - 1; i >= 0; i-- {
+		mc := mixnet.Config{
+			Position:  i,
+			ChainPubs: pubs,
+			Priv:      privs[i],
+			Workers:   cfg.Workers,
+		}
+		if i == cfg.Servers-1 {
+			mc.Net = cfg.DialNet
+			mc.ShardAddrs = sn.Addrs
+			mc.ShardTimeout = cfg.ShardTimeout
+		} else {
+			mc.NextLocal = sn.Chain[i+1]
+			if cfg.Mu > 0 {
+				mc.ConvoNoise = noise.Fixed{N: cfg.Mu}
+			}
+		}
+		srv, err := mixnet.NewServer(mc)
+		if err != nil {
+			sn.Close()
+			return nil, err
+		}
+		sn.Chain[i] = srv
+	}
+	return sn, nil
+}
+
+// Head returns the chain's first server, where rounds enter.
+func (sn *ShardNet) Head() *mixnet.Server { return sn.Chain[0] }
+
+// Close shuts down the chain, the shard servers, and their listeners.
+func (sn *ShardNet) Close() {
+	for _, srv := range sn.Chain {
+		if srv != nil {
+			srv.Close()
+		}
+	}
+	for _, l := range sn.listeners {
+		l.Close()
+	}
+	for _, ss := range sn.Shards {
+		ss.Close()
+	}
+}
+
+// MeasureShardNetRound runs one real conversation round through a chain
+// whose last hop is a `shards`-way networked fan-out, with the same load
+// shape as MeasureConvoRound — the measurable half of the horizontal
+// last-server scaling claim, used by `vuvuzela-bench shardnet`.
+func MeasureShardNetRound(users, mu, servers, shards int) (MeasuredPoint, error) {
+	sn, err := NewShardNet(ShardNetConfig{Servers: servers, Shards: shards, Mu: mu})
+	if err != nil {
+		return MeasuredPoint{}, err
+	}
+	defer sn.Close()
+
+	onions, err := conversingOnions(users, 1, sn.Pubs)
+	if err != nil {
+		return MeasuredPoint{}, err
+	}
+	start := time.Now()
+	replies, err := sn.Head().ConvoRound(1, onions)
+	elapsed := time.Since(start)
+	if err != nil {
+		return MeasuredPoint{}, err
+	}
+	if len(replies) != users {
+		return MeasuredPoint{}, fmt.Errorf("sim: %d replies for %d users", len(replies), users)
+	}
+	return MeasuredPoint{Users: users, Mu: mu, Servers: servers, Latency: elapsed, Msgs: users}, nil
+}

@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/onion"
+	"vuvuzela/internal/transport"
+)
+
+// TestShardNetChainEquivalence is the tentpole acceptance test: an
+// end-to-end conversation round through a 3-server chain whose last hop
+// fans out to networked shard servers is byte-identical to the sequential
+// in-process path and to the in-process sharded path, for 1, 2, 4, 8,
+// and a non-power-of-two shard count. The batch mixes real conversations,
+// an idle (fake-request) client, and malformed onions.
+func TestShardNetChainEquivalence(t *testing.T) {
+	defer LeakCheck(t)()
+	const servers = 3
+	const round = 1
+	const mu = 3
+
+	// One reference chain provides the keys and the expected replies.
+	pubs, privs, err := mixnet.NewChainKeys(servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onions := equivalenceBatch(t, round, pubs)
+
+	seqChain := localChainWithShards(t, pubs, privs, mu, 0)
+	want, err := seqChain[0].ConvoRound(round, onions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(onions) {
+		t.Fatalf("%d replies for %d onions", len(want), len(onions))
+	}
+
+	// In-process sharded last server.
+	inprocChain := localChainWithShards(t, pubs, privs, mu, 4)
+	inproc, err := inprocChain[0].ConvoRound(round, onions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReplies(t, "in-process shards=4", inproc, want)
+
+	// Networked fan-out at several widths, same keys, same onions.
+	shardCounts := []int{1, 2, 4, 8, 5}
+	if testing.Short() {
+		shardCounts = []int{1, 4}
+	}
+	for _, shards := range shardCounts {
+		sn := shardNetWithKeys(t, pubs, privs, mu, shards)
+		got, err := sn.Head().ConvoRound(round, onions)
+		if err != nil {
+			sn.Close()
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		compareReplies(t, "networked", got, want)
+		sn.Close()
+	}
+}
+
+// equivalenceBatch builds a deterministic-reply batch: two conversing
+// pairs (one colliding on message content, not drops), an idle client,
+// and two malformed onions.
+func equivalenceBatch(t *testing.T, round uint64, pubs []box.PublicKey) [][]byte {
+	t.Helper()
+	var onions [][]byte
+	add := func(name string, peer string, msg []byte) {
+		pub, priv := box.KeyPairFromSeed([]byte(name))
+		var secret *[32]byte
+		if peer != "" {
+			peerPub, _ := box.KeyPairFromSeed([]byte(peer))
+			s, err := convo.DeriveSecret(&priv, &peerPub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			secret = s
+		}
+		req, err := convo.BuildRequest(secret, round, &pub, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _, err := onion.Wrap(req.Marshal(), round, 0, pubs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onions = append(onions, o)
+	}
+	add("alice", "bob", []byte("hi bob"))
+	add("bob", "alice", []byte("hi alice"))
+	add("carol", "dave", []byte("hi dave"))
+	add("dave", "carol", []byte("hi carol"))
+	add("erin", "", nil) // idle: fake request
+	onions = append(onions, bytes.Repeat([]byte{0x5a}, 64), []byte{})
+	return onions
+}
+
+func compareReplies(t *testing.T, label string, got, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d replies, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("%s: reply %d differs from sequential path", label, i)
+		}
+	}
+}
+
+// localChainWithShards builds an in-process chain over the given keys
+// with an in-process (Shards) last-server table.
+func localChainWithShards(t *testing.T, pubs []box.PublicKey, privs []box.PrivateKey, mu, shards int) []*mixnet.Server {
+	t.Helper()
+	n := len(pubs)
+	chain := make([]*mixnet.Server, n)
+	for i := n - 1; i >= 0; i-- {
+		cfg := mixnet.Config{Position: i, ChainPubs: pubs, Priv: privs[i], Shards: shards}
+		if i < n-1 {
+			cfg.NextLocal = chain[i+1]
+			cfg.ConvoNoise = noise.Fixed{N: mu}
+		}
+		srv, err := mixnet.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain[i] = srv
+	}
+	return chain
+}
+
+// shardNetWithKeys is NewShardNet over pre-made chain keys, so multiple
+// topologies can process byte-identical onions.
+func shardNetWithKeys(t *testing.T, pubs []box.PublicKey, privs []box.PrivateKey, mu, shards int) *ShardNet {
+	t.Helper()
+	mem := transport.NewMem()
+	sn := &ShardNet{Pubs: pubs}
+	for i := 0; i < shards; i++ {
+		ss, err := mixnet.NewShardServer(mixnet.ShardConfig{Index: i, NumShards: shards, Subshards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := "shard-" + string(rune('0'+i))
+		l, err := mem.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go ss.Serve(l)
+		sn.Shards = append(sn.Shards, ss)
+		sn.Addrs = append(sn.Addrs, addr)
+		sn.listeners = append(sn.listeners, l)
+	}
+	n := len(pubs)
+	sn.Chain = make([]*mixnet.Server, n)
+	for i := n - 1; i >= 0; i-- {
+		cfg := mixnet.Config{Position: i, ChainPubs: pubs, Priv: privs[i]}
+		if i == n-1 {
+			cfg.Net = mem
+			cfg.ShardAddrs = sn.Addrs
+		} else {
+			cfg.NextLocal = sn.Chain[i+1]
+			cfg.ConvoNoise = noise.Fixed{N: mu}
+		}
+		srv, err := mixnet.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn.Chain[i] = srv
+	}
+	return sn
+}
+
+// faultNet builds a 2-server chain with `shards` shard servers behind a
+// transport.Faulty dialer, so tests can kill/hang individual shards.
+func faultNet(t *testing.T, shards int, timeout time.Duration) (*ShardNet, *transport.Faulty) {
+	t.Helper()
+	mem := transport.NewMem()
+	faulty := transport.NewFaulty(mem)
+	sn, err := NewShardNet(ShardNetConfig{
+		Servers:      2,
+		Shards:       shards,
+		Mu:           2,
+		ShardTimeout: timeout,
+		Net:          mem,
+		DialNet:      faulty,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sn, faulty
+}
+
+// runRound drives one conversation round with a fresh conversing pair and
+// verifies the pair actually exchanged messages — catching any reply
+// reordering after a recovered fault.
+func runRound(t *testing.T, sn *ShardNet, round uint64) error {
+	t.Helper()
+	aPub, aPriv := box.KeyPairFromSeed([]byte("fault-alice"))
+	bPub, bPriv := box.KeyPairFromSeed([]byte("fault-bob"))
+	sA, err := convo.DeriveSecret(&aPriv, &bPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := convo.DeriveSecret(&bPriv, &aPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqA, err := convo.BuildRequest(sA, round, &aPub, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqB, err := convo.BuildRequest(sB, round, &bPub, []byte("pong"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oA, aKeys, err := onion.Wrap(reqA.Marshal(), round, 0, sn.Pubs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oB, bKeys, err := onion.Wrap(reqB.Marshal(), round, 0, sn.Pubs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replies, err := sn.Head().ConvoRound(round, [][]byte{oA, oB})
+	if err != nil {
+		return err
+	}
+	if len(replies) != 2 {
+		t.Fatalf("round %d: %d replies", round, len(replies))
+	}
+	innerA, err := onion.UnwrapReply(replies[0], round, 0, aKeys)
+	if err != nil {
+		t.Fatalf("round %d: unwrap alice reply: %v", round, err)
+	}
+	if msg, ok := convo.OpenReply(sA, round, &bPub, innerA); !ok || string(msg) != "pong" {
+		t.Fatalf("round %d: alice got %q ok=%v — replies reordered?", round, msg, ok)
+	}
+	innerB, err := onion.UnwrapReply(replies[1], round, 0, bKeys)
+	if err != nil {
+		t.Fatalf("round %d: unwrap bob reply: %v", round, err)
+	}
+	if msg, ok := convo.OpenReply(sB, round, &aPub, innerB); !ok || string(msg) != "ping" {
+		t.Fatalf("round %d: bob got %q ok=%v — replies reordered?", round, msg, ok)
+	}
+	return nil
+}
+
+// TestShardFaultKilledShard: killing one shard mid-run aborts the round
+// with a RemoteError naming that shard, leaves no goroutines behind, and
+// the next round works again once the shard is reachable — redialed over
+// the same router.
+func TestShardFaultKilledShard(t *testing.T) {
+	defer LeakCheck(t)()
+	sn, faulty := faultNet(t, 4, 0)
+	defer sn.Close()
+
+	if err := runRound(t, sn, 1); err != nil {
+		t.Fatalf("healthy round: %v", err)
+	}
+
+	faulty.Break(sn.Addrs[2])
+	err := runRound(t, sn, 2)
+	var remote *mixnet.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("round with killed shard returned %v, want RemoteError", err)
+	}
+	if remote.Addr != sn.Addrs[2] {
+		t.Fatalf("RemoteError names %q, want the killed shard %q", remote.Addr, sn.Addrs[2])
+	}
+	if !strings.Contains(remote.Msg, "shard 2") {
+		t.Fatalf("RemoteError cause %q does not identify shard 2", remote.Msg)
+	}
+
+	faulty.Restore(sn.Addrs[2])
+	if err := runRound(t, sn, 3); err != nil {
+		t.Fatalf("round after shard recovery: %v", err)
+	}
+}
+
+// TestShardFaultHungShard: a shard that stops replying wedges only until
+// the router's per-shard timeout, then the round aborts with a
+// RemoteError instead of deadlocking the pipeline; after the shard heals,
+// the next round succeeds.
+func TestShardFaultHungShard(t *testing.T) {
+	defer LeakCheck(t)()
+	timeout := 250 * time.Millisecond
+	if testing.Short() {
+		timeout = 100 * time.Millisecond
+	}
+	sn, faulty := faultNet(t, 3, timeout)
+	defer sn.Close()
+
+	if err := runRound(t, sn, 1); err != nil {
+		t.Fatalf("healthy round: %v", err)
+	}
+
+	faulty.Hang(sn.Addrs[1])
+	start := time.Now()
+	err := runRound(t, sn, 2)
+	var remote *mixnet.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("round with hung shard returned %v, want RemoteError", err)
+	}
+	if remote.Addr != sn.Addrs[1] {
+		t.Fatalf("RemoteError names %q, want the hung shard %q", remote.Addr, sn.Addrs[1])
+	}
+	if elapsed := time.Since(start); elapsed > 10*timeout {
+		t.Fatalf("hung shard stalled the round for %v with a %v timeout", elapsed, timeout)
+	}
+
+	faulty.Restore(sn.Addrs[1])
+	if err := runRound(t, sn, 3); err != nil {
+		t.Fatalf("round after hang recovery: %v", err)
+	}
+}
+
+// TestShardFaultErroringShard: a shard that rejects the round (replay
+// detection after a duplicated frame) surfaces its own cause through the
+// RemoteError, and the remaining shards' connections survive to the next
+// round.
+func TestShardFaultErroringShard(t *testing.T) {
+	defer LeakCheck(t)()
+	sn, _ := faultNet(t, 4, 0)
+	defer sn.Close()
+
+	if err := runRound(t, sn, 1); err != nil {
+		t.Fatalf("healthy round: %v", err)
+	}
+	// Consume round 2 on shard 3 directly, so the chain's round 2
+	// arrives there as a replay and is rejected by the shard itself.
+	if _, err := sn.Shards[3].ExchangeRound(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := runRound(t, sn, 2)
+	var remote *mixnet.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("round rejected by shard returned %v, want RemoteError", err)
+	}
+	if remote.Addr != sn.Addrs[3] || !strings.Contains(remote.Msg, "round") {
+		t.Fatalf("RemoteError %q/%q does not carry shard 3's replay cause", remote.Addr, remote.Msg)
+	}
+	if err := runRound(t, sn, 3); err != nil {
+		t.Fatalf("round after shard-side rejection: %v", err)
+	}
+}
+
+// TestShardNetClosesClean: a shard net with active connections shuts down
+// without leaking goroutines — the LeakCheck is the assertion.
+func TestShardNetClosesClean(t *testing.T) {
+	defer LeakCheck(t)()
+	sn, err := NewShardNet(ShardNetConfig{Servers: 3, Shards: 4, Mu: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runRound(t, sn, 1); err != nil {
+		t.Fatal(err)
+	}
+	sn.Close()
+}
+
+// TestMeasureShardNetRound exercises the bench harness entry point.
+func TestMeasureShardNetRound(t *testing.T) {
+	defer LeakCheck(t)()
+	pt, err := MeasureShardNetRound(8, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Users != 8 || pt.Latency <= 0 {
+		t.Fatalf("bad point: %+v", pt)
+	}
+}

@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Fault modes injectable per address.
+const (
+	// faultNone passes traffic through untouched.
+	faultNone = iota
+	// faultBroken fails new dials and errors every read/write on live
+	// connections — the peer process was killed.
+	faultBroken
+	// faultHang accepts dials and writes but never delivers reads — the
+	// peer is alive but wedged (or the network silently drops replies).
+	faultHang
+)
+
+// ErrInjected is the error surfaced by reads/writes on a broken address.
+var ErrInjected = errors.New("transport: injected fault")
+
+// Faulty wraps a Network and injects per-address faults into dialed
+// connections: Break simulates a killed peer, Hang a wedged one, Restore
+// heals. Listen passes through untouched, so only the dialing side of an
+// address is disturbed — exactly the view a shard router has of a failing
+// shard server. Used by the fault-injection test suites; no production
+// code path constructs one.
+type Faulty struct {
+	inner Network
+
+	mu     sync.Mutex
+	faults map[string]*fault
+}
+
+// fault is one address's injected state, shared by all connections dialed
+// to that address.
+type fault struct {
+	mu   sync.Mutex
+	mode int
+	// wake is closed (and replaced) on every mode change so readers
+	// blocked in hang mode re-check the mode.
+	wake chan struct{}
+	// conns are the live connections to this address, so a mode change
+	// can interrupt readers already blocked inside the inner Read.
+	conns []*faultyConn
+}
+
+func (f *fault) state() (int, <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mode, f.wake
+}
+
+func (f *fault) register(c *faultyConn) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.conns = append(f.conns, c)
+}
+
+func (f *fault) set(mode int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mode == mode {
+		return
+	}
+	f.mode = mode
+	close(f.wake)
+	f.wake = make(chan struct{})
+	for _, c := range f.conns {
+		if mode == faultBroken {
+			// Unblock readers parked inside the inner Read: force an
+			// immediate deadline; Read reclassifies it as ErrInjected.
+			c.Conn.SetReadDeadline(time.Unix(1, 0))
+		} else {
+			c.restoreDeadline()
+		}
+	}
+}
+
+// NewFaulty wraps inner with fault injection. All addresses start healthy.
+func NewFaulty(inner Network) *Faulty {
+	return &Faulty{inner: inner, faults: make(map[string]*fault)}
+}
+
+func (fn *Faulty) faultFor(addr string) *fault {
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	f, ok := fn.faults[addr]
+	if !ok {
+		f = &fault{mode: faultNone, wake: make(chan struct{})}
+		fn.faults[addr] = f
+	}
+	return f
+}
+
+// Break kills addr: pending and future reads/writes error, new dials are
+// refused.
+func (fn *Faulty) Break(addr string) { fn.faultFor(addr).set(faultBroken) }
+
+// Hang wedges addr: writes still land but reads block until Restore, the
+// connection closes, or the caller's read deadline expires.
+func (fn *Faulty) Hang(addr string) { fn.faultFor(addr).set(faultHang) }
+
+// Restore heals addr for existing and future connections.
+func (fn *Faulty) Restore(addr string) { fn.faultFor(addr).set(faultNone) }
+
+// Listen implements Network.
+func (fn *Faulty) Listen(addr string) (net.Listener, error) { return fn.inner.Listen(addr) }
+
+// Dial implements Network.
+func (fn *Faulty) Dial(addr string) (net.Conn, error) {
+	f := fn.faultFor(addr)
+	if mode, _ := f.state(); mode == faultBroken {
+		return nil, fmt.Errorf("%w: %q is broken", ErrInjected, addr)
+	}
+	raw, err := fn.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &faultyConn{Conn: raw, f: f, closed: make(chan struct{})}
+	f.register(c)
+	return c, nil
+}
+
+// faultyConn applies its address's current fault mode to every operation.
+type faultyConn struct {
+	net.Conn
+	f *fault
+
+	mu           sync.Mutex
+	readDeadline time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (c *faultyConn) Read(p []byte) (int, error) {
+	for {
+		mode, wake := c.f.state()
+		switch mode {
+		case faultBroken:
+			return 0, fmt.Errorf("%w: read on broken connection", ErrInjected)
+		case faultNone:
+			n, err := c.Conn.Read(p)
+			if n == 0 && errors.Is(err, os.ErrDeadlineExceeded) {
+				if m, _ := c.f.state(); m != faultNone {
+					// The mode flipped while we were blocked and set() forced
+					// the deadline to interrupt us: reclassify via the loop.
+					continue
+				}
+			}
+			return n, err
+		default: // faultHang: wait for heal, close, or deadline
+			var timeout <-chan time.Time
+			var timer *time.Timer
+			c.mu.Lock()
+			dl := c.readDeadline
+			c.mu.Unlock()
+			if !dl.IsZero() {
+				d := time.Until(dl)
+				if d <= 0 {
+					return 0, os.ErrDeadlineExceeded
+				}
+				timer = time.NewTimer(d)
+				timeout = timer.C
+			}
+			select {
+			case <-wake:
+			case <-c.closed:
+			case <-timeout:
+			}
+			if timer != nil {
+				timer.Stop()
+			}
+			select {
+			case <-c.closed:
+				return 0, net.ErrClosed
+			default:
+			}
+			if mode, _ := c.f.state(); mode == faultHang {
+				return 0, os.ErrDeadlineExceeded
+			}
+		}
+	}
+}
+
+func (c *faultyConn) Write(p []byte) (int, error) {
+	if mode, _ := c.f.state(); mode == faultBroken {
+		return 0, fmt.Errorf("%w: write on broken connection", ErrInjected)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultyConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// restoreDeadline reinstates the caller's read deadline after a forced
+// interrupt, so a healed connection honors the deadline it was given.
+func (c *faultyConn) restoreDeadline() {
+	c.mu.Lock()
+	dl := c.readDeadline
+	c.mu.Unlock()
+	c.Conn.SetReadDeadline(dl)
+}
+
+func (c *faultyConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *faultyConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}

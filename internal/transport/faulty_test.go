@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// echoListener accepts connections and echoes bytes back.
+func echoListener(t *testing.T, net Network, addr string) {
+	t.Helper()
+	l, err := net.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+// TestFaultyPassThrough: a healthy address behaves exactly like the inner
+// network.
+func TestFaultyPassThrough(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoListener(t, f, "echo")
+	c, err := f.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := c.Read(buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("echo got %q err=%v", buf, err)
+	}
+}
+
+// TestFaultyBreak: Break fails live connections and new dials; Restore
+// heals both.
+func TestFaultyBreak(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoListener(t, f, "echo")
+	c, err := f.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	f.Break("echo")
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write on broken conn: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read on broken conn: %v", err)
+	}
+	if _, err := f.Dial("echo"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial to broken addr: %v", err)
+	}
+
+	f.Restore("echo")
+	c2, err := f.Dial("echo")
+	if err != nil {
+		t.Fatalf("dial after restore: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := c2.Read(buf); err != nil || buf[0] != 'y' {
+		t.Fatalf("echo after restore: %q err=%v", buf, err)
+	}
+}
+
+// TestFaultyBreakInterruptsBlockedRead: Break must surface to a reader
+// already parked inside the inner Read — the "killed peer" cannot wait
+// for data that will never come.
+func TestFaultyBreakInterruptsBlockedRead(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoListener(t, f, "echo")
+	c, err := f.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1)) // nothing written: blocks in the pipe
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the reader park inside Conn.Read
+	f.Break("echo")
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("interrupted read returned %v, want ErrInjected", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Break did not interrupt the in-flight read")
+	}
+}
+
+// TestFaultyHangDeadline: a hung address blocks reads until the read
+// deadline expires, then surfaces a timeout — writes still go through.
+func TestFaultyHangDeadline(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoListener(t, f, "echo")
+	c, err := f.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	f.Hang("echo")
+	if _, err := c.Write([]byte("z")); err != nil {
+		t.Fatalf("write to hung addr: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err = c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read on hung conn: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("hung read ignored the deadline (%v)", time.Since(start))
+	}
+}
+
+// TestFaultyHangRestore: a reader blocked on a hung address resumes when
+// the address is restored.
+func TestFaultyHangRestore(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoListener(t, f, "echo")
+	c, err := f.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the echo land in the pipe before hanging the address.
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Hang("echo")
+	done := make(chan error, 1)
+	go func() {
+		if _, err := c.Write([]byte("v")); err != nil {
+			done <- err
+			return
+		}
+		_, err := c.Read(buf)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("read completed while hung: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	f.Restore("echo")
+	select {
+	case err := <-done:
+		if err != nil || buf[0] != 'v' {
+			t.Fatalf("read after restore: %q err=%v", buf, err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still blocked after restore")
+	}
+}
+
+// TestFaultyHangClose: closing a hung connection unblocks its reader.
+func TestFaultyHangClose(t *testing.T) {
+	f := NewFaulty(NewMem())
+	echoListener(t, f, "echo")
+	c, err := f.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Hang("echo")
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read on closed hung conn succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not unblock hung reader")
+	}
+}

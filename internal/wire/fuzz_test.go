@@ -81,3 +81,113 @@ func TestHugeCountRejected(t *testing.T) {
 		t.Fatal("absurd element count accepted")
 	}
 }
+
+// TestShardFrameNeverPanics fuzzes the shard-leg validators with random
+// byte strings: whatever Decode accepts, CheckShardRound and
+// CheckShardReply must classify without panicking — both fronts face a
+// potentially compromised peer (router or shard).
+func TestShardFrameNeverPanics(t *testing.T) {
+	f := func(data []byte, shard, numShards uint32, round uint64, want uint16) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("shard validation panicked on %x: %v", data, r)
+			}
+		}()
+		m, err := Decode(data)
+		if err != nil {
+			return true
+		}
+		_ = CheckShardRound(m, shard, numShards)
+		_ = CheckShardReply(m, round, shard, int(want))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardRoundCorruptIndex mutates the shard-index field of a valid
+// shard round frame: every corrupted index (misrouted or out of range)
+// must be rejected, and only the authentic one accepted.
+func TestShardRoundCorruptIndex(t *testing.T) {
+	const shard, numShards = 3, 8
+	base := ShardRoundMessage(7, shard, [][]byte{{1, 2}, {3}}).Encode()
+	for v := uint32(0); v < 2*numShards; v++ {
+		buf := append([]byte(nil), base...)
+		// Bucket field lives at bytes 14..17.
+		buf[14], buf[15], buf[16], buf[17] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		m, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("index %d: frame no longer parses: %v", v, err)
+		}
+		err = CheckShardRound(m, shard, numShards)
+		if v == shard && err != nil {
+			t.Fatalf("authentic index rejected: %v", err)
+		}
+		if v != shard && err == nil {
+			t.Fatalf("corrupt shard index %d accepted", v)
+		}
+	}
+}
+
+// TestShardReplyTruncatedSubBatch: every truncation of a shard reply
+// frame either fails Decode or is caught by CheckShardReply's count and
+// field checks — a shard cannot silently shorten the reply batch.
+func TestShardReplyTruncatedSubBatch(t *testing.T) {
+	const round, shard, want = 9, 2, 3
+	full := ShardReplyMessage(round, shard, [][]byte{make([]byte, 16), make([]byte, 16), make([]byte, 16)})
+	base := full.Encode()
+	for i := 0; i < len(base); i++ {
+		m, err := Decode(base[:i])
+		if err != nil {
+			continue
+		}
+		if err := CheckShardReply(m, round, shard, want); err == nil {
+			t.Fatalf("truncation at %d accepted as a complete shard reply", i)
+		}
+	}
+	m, err := Decode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckShardReply(m, round, shard, want); err != nil {
+		t.Fatalf("full frame rejected: %v", err)
+	}
+	// Dropping one reply must also be caught.
+	short := ShardReplyMessage(round, shard, [][]byte{make([]byte, 16), make([]byte, 16)})
+	if err := CheckShardReply(short, round, shard, want); err == nil {
+		t.Fatal("short reply batch accepted")
+	}
+}
+
+// TestShardReplyDuplicateRejected: a duplicated (stale-round) shard reply
+// replayed into a later round fails the round check, and replies for the
+// wrong shard or of the wrong kind are likewise rejected — the router's
+// desync detection rests on these.
+func TestShardReplyDuplicateRejected(t *testing.T) {
+	dup := ShardReplyMessage(7, 1, [][]byte{{0xa}})
+	if err := CheckShardReply(dup, 7, 1, 1); err != nil {
+		t.Fatalf("authentic reply rejected: %v", err)
+	}
+	if err := CheckShardReply(dup, 8, 1, 1); err == nil {
+		t.Fatal("stale (duplicate) round-7 reply accepted for round 8")
+	}
+	if err := CheckShardReply(dup, 7, 2, 1); err == nil {
+		t.Fatal("reply from wrong shard accepted")
+	}
+	wrongKind := &Message{Kind: KindReplies, Proto: ProtoConvo, Round: 7, Bucket: 1, Body: [][]byte{{0xa}}}
+	if err := CheckShardReply(wrongKind, 7, 1, 1); err == nil {
+		t.Fatal("non-shard frame accepted as a shard reply")
+	}
+	wrongProto := ShardReplyMessage(7, 1, [][]byte{{0xa}})
+	wrongProto.Proto = ProtoDial
+	if err := CheckShardReply(wrongProto, 7, 1, 1); err == nil {
+		t.Fatal("wrong-protocol shard reply accepted")
+	}
+	if err := CheckShardReply(nil, 7, 1, 1); err == nil {
+		t.Fatal("nil message accepted")
+	}
+	if err := CheckShardRound(nil, 0, 1); err == nil {
+		t.Fatal("nil message accepted as shard round")
+	}
+}

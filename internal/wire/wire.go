@@ -44,6 +44,14 @@ const (
 	// KindReplies so the predecessor sees the cause instead of
 	// diagnosing a bare EOF from a closed connection.
 	KindError
+	// KindShardRound: last-hop shard router → shard server. One shard's
+	// partition of a conversation round's innermost exchange requests;
+	// Bucket carries the shard index.
+	KindShardRound
+	// KindShardReply: shard server → router. The sub-batch's replies,
+	// aligned with the KindShardRound request order; Bucket echoes the
+	// shard index.
+	KindShardReply
 )
 
 // ErrorMessage builds a KindError response for a failed round.
@@ -57,6 +65,72 @@ func (m *Message) ErrorString() string {
 		return "unknown remote error"
 	}
 	return string(m.Body[0])
+}
+
+// ErrShardFrame indicates a structurally valid frame that is not an
+// acceptable shard round or shard reply — wrong kind, wrong protocol, a
+// shard index that is out of range or misrouted, a stale round (e.g. a
+// duplicate reply from an earlier round still sitting in the stream), or
+// a reply count that does not cover the sub-batch.
+var ErrShardFrame = errors.New("wire: bad shard frame")
+
+// ShardRoundMessage builds the fan-out frame carrying shard `shard`'s
+// partition of a conversation round's innermost exchange requests.
+func ShardRoundMessage(round uint64, shard uint32, sub [][]byte) *Message {
+	return &Message{Kind: KindShardRound, Proto: ProtoConvo, Round: round, Bucket: shard, Body: sub}
+}
+
+// ShardReplyMessage builds a shard server's response: one reply per
+// request of the KindShardRound frame, in the same order.
+func ShardReplyMessage(round uint64, shard uint32, replies [][]byte) *Message {
+	return &Message{Kind: KindShardReply, Proto: ProtoConvo, Round: round, Bucket: shard, Body: replies}
+}
+
+// ShardIndex returns the shard index carried by a shard round or reply
+// frame (the Bucket field, unused by those kinds otherwise).
+func (m *Message) ShardIndex() uint32 { return m.Bucket }
+
+// CheckShardRound validates an incoming frame as the round fan-out for
+// shard `shard` of a `numShards`-way partition. It never panics on
+// attacker-controlled frames; any mismatch is rejected with ErrShardFrame.
+func CheckShardRound(m *Message, shard, numShards uint32) error {
+	switch {
+	case m == nil:
+		return fmt.Errorf("%w: nil message", ErrShardFrame)
+	case m.Kind != KindShardRound:
+		return fmt.Errorf("%w: kind %d, want shard round", ErrShardFrame, m.Kind)
+	case m.Proto != ProtoConvo:
+		return fmt.Errorf("%w: proto %d, want convo", ErrShardFrame, m.Proto)
+	case m.Bucket >= numShards:
+		return fmt.Errorf("%w: shard index %d out of range for %d shards", ErrShardFrame, m.Bucket, numShards)
+	case m.Bucket != shard:
+		return fmt.Errorf("%w: misrouted: frame for shard %d arrived at shard %d", ErrShardFrame, m.Bucket, shard)
+	}
+	return nil
+}
+
+// CheckShardReply validates a shard server's response to a
+// ShardRoundMessage for the given round and shard: it must echo the
+// round and shard index and return exactly one reply per request. A
+// stale frame (duplicate reply from an earlier round) fails the round
+// check, so a desynchronized connection is detected instead of replies
+// silently shifting between rounds.
+func CheckShardReply(m *Message, round uint64, shard uint32, wantReplies int) error {
+	switch {
+	case m == nil:
+		return fmt.Errorf("%w: nil message", ErrShardFrame)
+	case m.Kind != KindShardReply:
+		return fmt.Errorf("%w: kind %d, want shard reply", ErrShardFrame, m.Kind)
+	case m.Proto != ProtoConvo:
+		return fmt.Errorf("%w: proto %d, want convo", ErrShardFrame, m.Proto)
+	case m.Round != round:
+		return fmt.Errorf("%w: reply for round %d, want %d", ErrShardFrame, m.Round, round)
+	case m.Bucket != shard:
+		return fmt.Errorf("%w: reply from shard %d, want %d", ErrShardFrame, m.Bucket, shard)
+	case len(m.Body) != wantReplies:
+		return fmt.Errorf("%w: %d replies for %d requests", ErrShardFrame, len(m.Body), wantReplies)
+	}
+	return nil
 }
 
 // MaxRoundsInFlight bounds how many conversation rounds may be announced
