@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race shardtest bench clean
+.PHONY: check vet build test race shardtest fuzz bench clean
 
-check: vet build race shardtest
+check: vet build race shardtest fuzz
 
 vet:
 	$(GO) vet ./...
@@ -19,10 +19,18 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# The shard fan-out and fault-injection suites at full depth (the -short
-# race pass above runs them scaled down).
+# The shard fan-out, secure-transport, MITM, degradation, and
+# fault-injection suites at full depth (the -short race pass above runs
+# them scaled down).
 shardtest:
-	$(GO) test -race -run 'Shard|Fault' -timeout 5m ./...
+	$(GO) test -race -run 'Shard|Fault|Secure|MITM|Degrade' -timeout 5m ./...
+
+# Short coverage-guided smoke over the authenticated-transport parsers
+# (each target also runs its seed corpus in every plain `go test`).
+fuzz:
+	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureHandshakeServer$$' -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureHandshakeClient$$' -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureRecordTamper$$' -fuzztime 10s
 
 # Short benchmark pass over the scalability-critical paths.
 bench:

@@ -11,24 +11,32 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"time"
 
 	"vuvuzela/internal/convo"
+	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/noise"
 	"vuvuzela/internal/privacy"
 	"vuvuzela/internal/sim"
 	"vuvuzela/internal/strawman"
+	"vuvuzela/internal/transport"
 )
 
 var (
 	measure = flag.Bool("measure", false, "also run real scaled-down rounds on this machine")
 	scale   = flag.Int("scale", 500, "scale divisor for measured runs (users and µ divided by this)")
+	secure  = flag.Bool("secure", false, "shardnet: also measure the authenticated-transport overhead (handshake latency, record-layer throughput vs raw)")
+	degrade = flag.Bool("degrade", false, "shardnet: also measure degraded rounds (k shards killed, ShardPolicy=Degrade)")
+	jsonOut = flag.String("json", "", "shardnet: write the measured points to this file (e.g. BENCH_shardnet.json)")
 )
 
 func main() {
@@ -316,17 +324,50 @@ func shard() {
 	fmt.Println("  partitioning overhead on a single-core machine)")
 }
 
+// shardnetPoint is one measured shardnet round for the JSON baseline.
+// Killed/Degraded carry no omitempty so the degraded-series control
+// point (killed=0) stays distinguishable from a healthy rounds[] entry.
+type shardnetPoint struct {
+	Shards    int     `json:"shards"`
+	Killed    int     `json:"killed"`
+	Degraded  int     `json:"degraded"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// secureOverheadPoint records the authenticated-transport microbench.
+type secureOverheadPoint struct {
+	HandshakeMS  float64 `json:"handshake_ms"`
+	RawMBps      float64 `json:"raw_mb_per_s"`
+	SecureMBps   float64 `json:"secure_mb_per_s"`
+	OverheadX    float64 `json:"overhead_x"`
+	PayloadBytes int     `json:"payload_bytes"`
+}
+
+// shardnetBaseline is the full -json output shape.
+type shardnetBaseline struct {
+	Users    int                  `json:"users"`
+	Mu       int                  `json:"mu"`
+	Servers  int                  `json:"servers"`
+	Cores    int                  `json:"cores"`
+	Rounds   []shardnetPoint      `json:"rounds"`
+	Secure   *secureOverheadPoint `json:"secure_overhead,omitempty"`
+	Degraded []shardnetPoint      `json:"degraded_rounds,omitempty"`
+}
+
 // shardnet times a full conversation round through a chain whose last
-// hop fans out to networked shard servers (in-memory wire), sequential
-// (1 shard) vs wider fan-outs — the end-to-end half of the horizontal
-// last-server scaling claim.
+// hop fans out to networked shard servers (in-memory wire, always inside
+// the authenticated channel), sequential (1 shard) vs wider fan-outs —
+// the end-to-end half of the horizontal last-server scaling claim.
+// -secure adds the transport-crypto microbench, -degrade the degraded-
+// round latency, -json writes every point to a baseline file.
 func shardnet() {
 	header("networked shard fan-out: one round through a 2-server chain + N shard servers")
 	const (
 		users = 512
 		mu    = 30
 	)
-	fmt.Printf("  %d conversing users, µ=%d, in-memory transport:\n", users, mu)
+	base := shardnetBaseline{Users: users, Mu: mu, Servers: 2, Cores: runtime.NumCPU()}
+	fmt.Printf("  %d conversing users, µ=%d, in-memory transport, authenticated leg:\n", users, mu)
 	var seq time.Duration
 	for _, shards := range []int{1, 2, 4, 8} {
 		pt, err := sim.MeasureShardNetRound(users, mu, 2, shards)
@@ -342,9 +383,129 @@ func shardnet() {
 			speedup = fmt.Sprintf("  (%.2fx vs 1 shard)", seq.Seconds()/pt.Latency.Seconds())
 		}
 		fmt.Printf("  %-10s %12v%s\n", label, pt.Latency.Round(time.Millisecond), speedup)
+		base.Rounds = append(base.Rounds, shardnetPoint{Shards: shards, LatencyMS: ms(pt.Latency)})
 	}
 	fmt.Printf("  (%d cores; each shard is its own process in production — gains\n", runtime.NumCPU())
 	fmt.Println("  need real machines, this verifies the fan-out plumbing and overhead)")
+
+	if *secure {
+		base.Secure = secureOverhead()
+	}
+	if *degrade {
+		base.Degraded = degradedRounds(users, mu)
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fmt.Println("  json error:", err)
+			return
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Println("  json error:", err)
+			return
+		}
+		fmt.Printf("  wrote %s\n", *jsonOut)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// secureOverhead measures what the authenticated channel costs on this
+// machine: handshake latency and record-layer throughput against a raw
+// in-memory pipe moving the same bytes.
+func secureOverhead() *secureOverheadPoint {
+	header("authenticated transport overhead (transport.Secure vs raw pipe)")
+	cPub, cPriv := box.KeyPairFromSeed([]byte("bench-client"))
+	sPub, sPriv := box.KeyPairFromSeed([]byte("bench-server"))
+
+	// Handshake latency, averaged over fresh connections.
+	const hsIters = 20
+	start := time.Now()
+	for i := 0; i < hsIters; i++ {
+		cc, sc := net.Pipe()
+		client := transport.SecureClient(cc, cPriv, sPub)
+		server := transport.SecureServer(sc, sPriv, []box.PublicKey{cPub})
+		done := make(chan struct{})
+		go func() { server.Handshake(); close(done) }()
+		if err := client.Handshake(); err != nil {
+			fmt.Println("  error:", err)
+			return nil
+		}
+		<-done
+		cc.Close()
+		sc.Close()
+	}
+	hs := time.Since(start) / hsIters
+
+	const payload = 8 << 20 // 8 MB in 64 KB writes
+	pump := func(mk func() (io.Writer, io.Reader, func())) float64 {
+		w, r, closeFn := mk()
+		defer closeFn()
+		buf := make([]byte, 64<<10)
+		done := make(chan struct{})
+		go func() {
+			sink := make([]byte, 64<<10)
+			total := 0
+			for total < payload {
+				n, err := r.Read(sink)
+				if err != nil {
+					break
+				}
+				total += n
+			}
+			close(done)
+		}()
+		start := time.Now()
+		for sent := 0; sent < payload; sent += len(buf) {
+			if _, err := w.Write(buf); err != nil {
+				return 0
+			}
+		}
+		<-done
+		return float64(payload) / (1 << 20) / time.Since(start).Seconds()
+	}
+
+	raw := pump(func() (io.Writer, io.Reader, func()) {
+		cc, sc := net.Pipe()
+		return cc, sc, func() { cc.Close(); sc.Close() }
+	})
+	sec := pump(func() (io.Writer, io.Reader, func()) {
+		cc, sc := net.Pipe()
+		client := transport.SecureClient(cc, cPriv, sPub)
+		server := transport.SecureServer(sc, sPriv, []box.PublicKey{cPub})
+		return client, server, func() { cc.Close(); sc.Close() }
+	})
+	overhead := 0.0
+	if sec > 0 {
+		overhead = raw / sec
+	}
+	fmt.Printf("  handshake: %v/connection (amortized across all rounds of a deployment)\n", hs.Round(time.Microsecond))
+	fmt.Printf("  raw pipe:  %8.1f MB/s\n", raw)
+	fmt.Printf("  secured:   %8.1f MB/s  (%.2fx slowdown: XSalsa20-Poly1305 both ways)\n", sec, overhead)
+	return &secureOverheadPoint{
+		HandshakeMS: ms(hs), RawMBps: raw, SecureMBps: sec,
+		OverheadX: overhead, PayloadBytes: payload,
+	}
+}
+
+// degradedRounds measures rounds that zero-fill killed shards under
+// ShardPolicy=Degrade, against the healthy 4-shard baseline.
+func degradedRounds(users, mu int) []shardnetPoint {
+	header("graceful degradation: 4-shard rounds with k shards killed (policy=degrade)")
+	var out []shardnetPoint
+	for _, kill := range []int{0, 1, 2} {
+		pt, degraded, err := sim.MeasureDegradedShardNetRound(users, mu, 2, 4, kill)
+		if err != nil {
+			fmt.Println("  error:", err)
+			return out
+		}
+		fmt.Printf("  killed=%d  %12v  (%d shards zero-filled)\n",
+			kill, pt.Latency.Round(time.Millisecond), degraded)
+		out = append(out, shardnetPoint{Shards: 4, Killed: kill, Degraded: degraded, LatencyMS: ms(pt.Latency)})
+	}
+	fmt.Println("  (a degraded round completes for every surviving shard's users;")
+	fmt.Println("  dead shards' replies are zero-filled — observable metadata, see README)")
+	return out
 }
 
 // pipeline compares serial vs overlapped round execution through the

@@ -100,11 +100,22 @@ func chainCmd(args []string) {
 		}
 		fmt.Printf("wrote %s\n", keyPath)
 	}
+	// The same validation LoadChain applies on every read: no zero or
+	// duplicated keys, no empty addresses. The chain keys the
+	// authenticated router↔shard channels, so a bad descriptor must die
+	// here, not at the first round.
+	if err := chain.Validate(); err != nil {
+		fatal(fmt.Errorf("generated chain failed validation: %w", err))
+	}
 	chainPath := filepath.Join(*out, "chain.json")
 	if err := config.Save(chainPath, chain); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d servers, %d shards, entry %s)\n", chainPath, *servers, *shards, chain.EntryAddr)
+	if *shards > 0 {
+		fmt.Printf("shard servers authenticate the last server's key; run each with\n  vuvuzela-server -chain %s -key %s -mode shard\n",
+			chainPath, filepath.Join(*out, "shard-K.key"))
+	}
 }
 
 func userCmd(args []string) {

@@ -36,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "crypto worker goroutines (0 = all cores)")
 	shards := flag.Int("shards", 0, "in-process dead-drop sub-tables (0 or 1 = one sequential table); applies to the last server, or within each shard server")
 	shardTimeout := flag.Duration("shard-timeout", time.Minute, "per-round RPC timeout to each shard server (last server only; 0 = wait forever)")
+	shardPolicy := flag.String("shard-policy", "abort", `"abort" fails the round on any shard failure; "degrade" zero-fills an unreachable shard's replies and completes the round (authentication failures still abort; zero-filled replies are observable round metadata — see README)`)
 	flag.Parse()
 	if *keyPath == "" {
 		flag.Usage()
@@ -51,9 +52,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var policy mixnet.ShardPolicy
+	switch *shardPolicy {
+	case "abort":
+		policy = mixnet.ShardAbort
+	case "degrade":
+		policy = mixnet.ShardDegrade
+	default:
+		log.Fatalf("unknown -shard-policy %q (want abort or degrade)", *shardPolicy)
+	}
+
 	switch *mode {
 	case "chain":
-		runChain(chain, key, *fixedNoise, *workers, *shards, *shardTimeout)
+		runChain(chain, key, *fixedNoise, *workers, *shards, *shardTimeout, policy)
 	case "shard":
 		runShard(chain, key, *shardIndex, *workers, *shards)
 	default:
@@ -70,7 +81,7 @@ func checkKey(priv box.PrivateKey, want config.Key, what string) {
 	}
 }
 
-func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, workers, shards int, shardTimeout time.Duration) {
+func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, workers, shards int, shardTimeout time.Duration, policy mixnet.ShardPolicy) {
 	pos := key.Position
 	if pos < 0 || pos >= len(chain.Servers) {
 		log.Fatalf("key position %d out of range for %d-server chain", pos, len(chain.Servers))
@@ -103,7 +114,12 @@ func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, worke
 		store = cdn.NewStore(0)
 		cfg.Buckets = store
 		cfg.ShardAddrs = chain.ShardAddrs()
+		cfg.ShardPubs = chain.ShardKeys()
 		cfg.ShardTimeout = shardTimeout
+		cfg.ShardPolicy = policy
+		cfg.OnShardDegraded = func(round uint64, shard int, addr string, err error) {
+			log.Printf("round %d: degraded around shard %d (%s): %v", round, shard, addr, err)
+		}
 	} else {
 		cfg.NextAddr = chain.Servers[pos+1].Addr
 	}
@@ -158,11 +174,16 @@ func runShard(chain *config.Chain, key *config.ServerKey, index, workers, subsha
 	priv := box.PrivateKey(key.PrivateKey)
 	checkKey(priv, chain.Shards[index].PublicKey, fmt.Sprintf("shard %d", index))
 
+	// Only the last chain server — the shard router — may drive rounds
+	// on this shard; its key comes from the same descriptor clients use.
+	routerKey := box.PublicKey(chain.Servers[len(chain.Servers)-1].PublicKey)
 	ss, err := mixnet.NewShardServer(mixnet.ShardConfig{
-		Index:     index,
-		NumShards: len(chain.Shards),
-		Subshards: subshards,
-		Workers:   workers,
+		Index:      index,
+		NumShards:  len(chain.Shards),
+		Subshards:  subshards,
+		Workers:    workers,
+		Identity:   priv,
+		Authorized: []box.PublicKey{routerKey},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -171,8 +192,8 @@ func runShard(chain *config.Chain, key *config.ServerKey, index, workers, subsha
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("vuvuzela dead-drop shard %d/%d listening on %s",
-		index, len(chain.Shards), chain.Shards[index].Addr)
+	log.Printf("vuvuzela dead-drop shard %d/%d listening on %s (authenticated; router key %x...)",
+		index, len(chain.Shards), chain.Shards[index].Addr, routerKey[:4])
 	if err := ss.Serve(l); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

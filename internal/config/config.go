@@ -106,6 +106,57 @@ func (c *Chain) ShardAddrs() []string {
 	return out
 }
 
+// ShardKeys returns the shard servers' public keys in box form, aligned
+// with ShardAddrs, or nil for an unsharded last server. The last chain
+// server keys its authenticated fan-out channels with these.
+func (c *Chain) ShardKeys() []box.PublicKey {
+	if len(c.Shards) == 0 {
+		return nil
+	}
+	out := make([]box.PublicKey, len(c.Shards))
+	for i, s := range c.Shards {
+		out[i] = box.PublicKey(s.PublicKey)
+	}
+	return out
+}
+
+// Validate checks the structural invariants every tool relies on: at
+// least one server, no empty addresses, no zero keys, and no key shared
+// between two entries — a zero or duplicated key would silently undermine
+// the authenticated server-to-server channels keyed from this file.
+// LoadChain applies it to every chain read from disk, and keygen to every
+// chain it writes.
+func (c *Chain) Validate() error {
+	if len(c.Servers) == 0 {
+		return fmt.Errorf("config: chain has no servers")
+	}
+	seen := make(map[Key]string)
+	check := func(what string, s Server) error {
+		if s.Addr == "" {
+			return fmt.Errorf("config: %s has no address", what)
+		}
+		if s.PublicKey == (Key{}) {
+			return fmt.Errorf("config: %s has a zero public key", what)
+		}
+		if prev, ok := seen[s.PublicKey]; ok {
+			return fmt.Errorf("config: %s shares its public key with %s", what, prev)
+		}
+		seen[s.PublicKey] = what
+		return nil
+	}
+	for i, s := range c.Servers {
+		if err := check(fmt.Sprintf("server %d", i), s); err != nil {
+			return err
+		}
+	}
+	for i, s := range c.Shards {
+		if err := check(fmt.Sprintf("shard %d", i), s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ServerKey is a server's private key file.
 type ServerKey struct {
 	Position   int `json:"position"`
@@ -133,14 +184,14 @@ func Save(path string, v any) error {
 	return os.WriteFile(path, append(data, '\n'), mode)
 }
 
-// LoadChain reads a chain file.
+// LoadChain reads and validates a chain file.
 func LoadChain(path string) (*Chain, error) {
 	var c Chain
 	if err := load(path, &c); err != nil {
 		return nil, err
 	}
-	if len(c.Servers) == 0 {
-		return nil, fmt.Errorf("config: %s has no servers", path)
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
 	}
 	return &c, nil
 }

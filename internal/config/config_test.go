@@ -10,11 +10,12 @@ import (
 func TestChainRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	pub, _ := box.KeyPairFromSeed([]byte("s0"))
+	pub1, _ := box.KeyPairFromSeed([]byte("s1"))
 	chain := &Chain{
 		EntryAddr: "127.0.0.1:2718",
 		Servers: []Server{
 			{Addr: "127.0.0.1:2719", PublicKey: Key(pub)},
-			{Addr: "127.0.0.1:2720", PublicKey: Key(pub), CDNAddr: "127.0.0.1:2730"},
+			{Addr: "127.0.0.1:2720", PublicKey: Key(pub1), CDNAddr: "127.0.0.1:2730"},
 		},
 		ConvoNoiseMu: 300000, ConvoNoiseB: 13800,
 		DialNoiseMu: 13000, DialNoiseB: 770,
@@ -100,16 +101,18 @@ func TestKeyJSONErrors(t *testing.T) {
 }
 
 // TestChainShardsRoundTrip: the shard-server list survives the JSON
-// round trip, in index order, and ShardAddrs extracts the fan-out
-// addresses (nil when the last server is unsharded).
+// round trip, in index order, and ShardAddrs/ShardKeys extract the
+// fan-out addresses and keys (nil when the last server is unsharded).
 func TestChainShardsRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	pub, _ := box.KeyPairFromSeed([]byte("shard"))
+	pub, _ := box.KeyPairFromSeed([]byte("server"))
+	sh0, _ := box.KeyPairFromSeed([]byte("shard0"))
+	sh1, _ := box.KeyPairFromSeed([]byte("shard1"))
 	chain := &Chain{
 		Servers: []Server{{Addr: "127.0.0.1:2719", PublicKey: Key(pub)}},
 		Shards: []Server{
-			{Addr: "127.0.0.1:2731", PublicKey: Key(pub)},
-			{Addr: "127.0.0.1:2732", PublicKey: Key(pub)},
+			{Addr: "127.0.0.1:2731", PublicKey: Key(sh0)},
+			{Addr: "127.0.0.1:2732", PublicKey: Key(sh1)},
 		},
 	}
 	path := filepath.Join(dir, "chain.json")
@@ -124,11 +127,73 @@ func TestChainShardsRoundTrip(t *testing.T) {
 	if len(addrs) != 2 || addrs[0] != "127.0.0.1:2731" || addrs[1] != "127.0.0.1:2732" {
 		t.Fatalf("shard addrs lost: %v", addrs)
 	}
-	if back.Shards[1].PublicKey != Key(pub) {
-		t.Fatal("shard key lost")
+	keys := back.ShardKeys()
+	if len(keys) != 2 || keys[0] != sh0 || keys[1] != sh1 {
+		t.Fatal("shard keys lost")
 	}
 	unsharded := &Chain{Servers: chain.Servers}
 	if got := unsharded.ShardAddrs(); got != nil {
 		t.Fatalf("unsharded chain returned shard addrs %v", got)
+	}
+	if got := unsharded.ShardKeys(); got != nil {
+		t.Fatalf("unsharded chain returned shard keys %v", got)
+	}
+}
+
+// TestChainValidate: zero keys, duplicate keys, and missing addresses
+// are rejected — both directly and through LoadChain, so a malformed or
+// tampered descriptor cannot key the server-to-server channels.
+func TestChainValidate(t *testing.T) {
+	pub0, _ := box.KeyPairFromSeed([]byte("v0"))
+	pub1, _ := box.KeyPairFromSeed([]byte("v1"))
+	good := func() *Chain {
+		return &Chain{
+			Servers: []Server{{Addr: "a:1", PublicKey: Key(pub0)}},
+			Shards:  []Server{{Addr: "a:2", PublicKey: Key(pub1)}},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+
+	c := good()
+	c.Servers[0].PublicKey = Key{}
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero server key accepted")
+	}
+	c = good()
+	c.Shards[0].PublicKey = Key{}
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero shard key accepted")
+	}
+	c = good()
+	c.Shards[0].PublicKey = Key(pub0)
+	if err := c.Validate(); err == nil {
+		t.Fatal("shard sharing the server's key accepted")
+	}
+	c = good()
+	c.Shards = append(c.Shards, Server{Addr: "a:3", PublicKey: Key(pub1)})
+	if err := c.Validate(); err == nil {
+		t.Fatal("two shards sharing a key accepted")
+	}
+	c = good()
+	c.Shards[0].Addr = ""
+	if err := c.Validate(); err == nil {
+		t.Fatal("shard without an address accepted")
+	}
+	if err := (&Chain{}).Validate(); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+
+	// LoadChain applies the same validation to files.
+	dir := t.TempDir()
+	bad := good()
+	bad.Shards[0].PublicKey = bad.Servers[0].PublicKey
+	path := filepath.Join(dir, "chain.json")
+	if err := Save(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChain(path); err == nil {
+		t.Fatal("LoadChain accepted a chain with duplicate keys")
 	}
 }

@@ -76,10 +76,25 @@ type Config struct {
 	// instead of running in-process. One address is the degenerate case
 	// and remains byte-identical to the in-process path.
 	ShardAddrs []string
+	// ShardPubs holds the shards' long-term public keys, aligned with
+	// ShardAddrs (the chain descriptor's shard entries). Required
+	// whenever ShardAddrs is set: the router↔shard leg always runs
+	// inside an authenticated transport.Secure channel keyed by these
+	// and by Priv — there is no plaintext fan-out.
+	ShardPubs []box.PublicKey
 	// ShardTimeout bounds each shard's per-round RPC (0 = wait forever).
 	// A shard that exceeds it aborts the round with a RemoteError naming
 	// the shard, instead of wedging the whole chain.
 	ShardTimeout time.Duration
+	// ShardPolicy selects how the router treats a failed shard:
+	// ShardAbort (default) fails the round, ShardDegrade zero-fills the
+	// dead shard's replies and completes the round for everyone else.
+	// Authentication failures abort under either policy.
+	ShardPolicy ShardPolicy
+	// OnShardDegraded, if set on the last server, receives every shard
+	// the router degraded around (ShardDegrade only) — the same style of
+	// out-of-band reporting as coordinator.Config.OnRoundError.
+	OnShardDegraded func(round uint64, shard int, addr string, err error)
 
 	// Exactly one of the following must be set unless this is the last
 	// server: NextAddr+Net for a networked successor, or NextLocal for
@@ -140,7 +155,15 @@ func NewServer(cfg Config) (*Server, error) {
 		if !last {
 			return nil, errors.New("mixnet: only the last server may have shard servers")
 		}
-		r, err := NewShardRouter(cfg.Net, cfg.ShardAddrs, cfg.ShardTimeout)
+		r, err := NewShardRouter(RouterConfig{
+			Net:        cfg.Net,
+			Addrs:      cfg.ShardAddrs,
+			ShardPubs:  cfg.ShardPubs,
+			Identity:   cfg.Priv,
+			Timeout:    cfg.ShardTimeout,
+			Policy:     cfg.ShardPolicy,
+			OnDegraded: cfg.OnShardDegraded,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -345,17 +368,26 @@ func (s *Server) forwardDial(round uint64, m uint32, batch [][]byte) ([][]byte, 
 	return s.forwardWire(wire.ProtoDial, round, m, batch)
 }
 
-// RemoteError is a round failure reported by the successor through a
-// wire.KindError message — the round was received and rejected, as
-// opposed to the connection failing.
+// RemoteError is a round failure attributed to a specific peer: a
+// wire.KindError rejection from the successor, or a shard failure the
+// router maps onto the shard's address. The round may have been
+// consumed, so the predecessor must not blindly retry.
 type RemoteError struct {
 	Addr string
 	Msg  string
+	// Err is the underlying cause when it originated locally (a shard
+	// RPC failure), so callers can classify it — e.g.
+	// errors.Is(err, transport.ErrAuth). Nil for rejections that arrived
+	// as a KindError string from the wire.
+	Err error
 }
 
 func (e *RemoteError) Error() string {
-	return fmt.Sprintf("mixnet: successor %s reported: %s", e.Addr, e.Msg)
+	return fmt.Sprintf("mixnet: remote %s reported: %s", e.Addr, e.Msg)
 }
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *RemoteError) Unwrap() error { return e.Err }
 
 // forwardWire performs the network RPC to the successor, lazily dialing
 // and redialing once on a stale connection. A RemoteError is returned
@@ -431,9 +463,11 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // serveLoop is the accept lifecycle shared by Server and ShardServer:
-// one handler goroutine per connection, and a listener closed after
-// Close reports a clean shutdown instead of an error.
-func serveLoop(l net.Listener, closeCh <-chan struct{}, handle func(*wire.Conn)) error {
+// one handler goroutine per connection (the handler wraps the raw stream
+// itself — the shard server interposes its authenticated channel first),
+// and a listener closed after Close reports a clean shutdown instead of
+// an error.
+func serveLoop(l net.Listener, closeCh <-chan struct{}, handle func(net.Conn)) error {
 	for {
 		raw, err := l.Accept()
 		if err != nil {
@@ -444,11 +478,12 @@ func serveLoop(l net.Listener, closeCh <-chan struct{}, handle func(*wire.Conn))
 				return err
 			}
 		}
-		go handle(wire.NewConn(raw))
+		go handle(raw)
 	}
 }
 
-func (s *Server) handleConn(c *wire.Conn) {
+func (s *Server) handleConn(raw net.Conn) {
+	c := wire.NewConn(raw)
 	defer c.Close()
 	for {
 		msg, err := c.Recv()

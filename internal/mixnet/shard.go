@@ -9,6 +9,20 @@
 // and the coordinator's round accounting — cannot tell a 1-process last
 // server from an N-machine one. N=1 is the degenerate case and is
 // byte-identical to the in-process path by construction.
+//
+// The router↔shard leg is always authenticated and encrypted: every
+// connection runs inside transport.Secure, keyed by the long-term keys in
+// the chain descriptor (the router proves it is the last chain server,
+// each shard proves it is the shard the descriptor names). There is no
+// plaintext mode — NewShardRouter and NewShardServer refuse to construct
+// without key material, so an active attacker on this leg can neither
+// read dead-drop sub-batches nor forge, replay, or reorder them.
+//
+// Shard failures follow the ShardPolicy: Abort (default) fails the round
+// on any shard failure; Degrade zero-fills an unreachable shard's replies
+// so the surviving shards' traffic still completes. Authentication
+// failures and shard-side rejections are NEVER degraded around — a
+// forging or misbehaving shard aborts the round under either policy.
 
 package mixnet
 
@@ -21,11 +35,41 @@ import (
 	"time"
 
 	"vuvuzela/internal/convo"
+	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/deaddrop"
 	"vuvuzela/internal/parallel"
 	"vuvuzela/internal/transport"
 	"vuvuzela/internal/wire"
 )
+
+// ShardPolicy selects how the router treats a shard that fails during a
+// round.
+type ShardPolicy int
+
+const (
+	// ShardAbort (the default) fails the whole round on any shard
+	// failure — the behavior of a failed chain hop.
+	ShardAbort ShardPolicy = iota
+	// ShardDegrade zero-fills an unreachable shard's replies (in exact
+	// request order) so the round completes for the surviving shards.
+	// Only connection-level failures — a dead, unreachable, or silent
+	// shard — are degradable; authentication failures and shard-side
+	// rejections abort the round under this policy too. Note the
+	// anonymity caveat: which replies are zero-filled is observable
+	// round metadata (see README and PAPER.md §5).
+	ShardDegrade
+)
+
+func (p ShardPolicy) String() string {
+	switch p {
+	case ShardAbort:
+		return "abort"
+	case ShardDegrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("ShardPolicy(%d)", int(p))
+	}
+}
 
 // ShardConfig describes one networked dead-drop shard server.
 type ShardConfig struct {
@@ -45,11 +89,31 @@ type ShardConfig struct {
 	// AllowRoundReuse disables the strictly-increasing round check
 	// (tests and adversary simulations only).
 	AllowRoundReuse bool
+
+	// Identity is this shard's long-term private key (the one whose
+	// public half the chain descriptor lists for this shard). Required:
+	// every router connection is authenticated with it.
+	Identity box.PrivateKey
+	// Authorized lists the static keys allowed to drive rounds — in a
+	// deployment, the last chain server's key. Required, non-empty.
+	Authorized []box.PublicKey
+	// HandshakeTimeout bounds how long an accepted connection may sit
+	// unauthenticated before being dropped — otherwise anyone who can
+	// reach the port could pin a goroutine and socket per idle dial
+	// (0 = DefaultHandshakeTimeout).
+	HandshakeTimeout time.Duration
 }
+
+// DefaultHandshakeTimeout is how long a shard server waits for a dialer
+// to complete the authenticated handshake.
+const DefaultHandshakeTimeout = 10 * time.Second
 
 // ShardServer is one running dead-drop shard process
 // (`vuvuzela-server -mode shard`). It speaks only the shard leg of the
-// wire protocol: KindShardRound in, KindShardReply (or KindError) out.
+// wire protocol: KindShardRound in, KindShardReply (or KindError) out,
+// always inside an authenticated transport.Secure channel — a peer that
+// cannot prove an authorized key gets nothing, and a tampered or
+// replayed frame kills the connection before it reaches the exchange.
 type ShardServer struct {
 	cfg ShardConfig
 
@@ -68,6 +132,20 @@ func NewShardServer(cfg ShardConfig) (*ShardServer, error) {
 	if cfg.Index < 0 || cfg.Index >= cfg.NumShards {
 		return nil, fmt.Errorf("mixnet: shard index %d out of range for %d shards", cfg.Index, cfg.NumShards)
 	}
+	if cfg.Identity == (box.PrivateKey{}) {
+		return nil, errors.New("mixnet: shard server needs an identity key")
+	}
+	if _, err := box.PublicKeyOf(&cfg.Identity); err != nil {
+		return nil, fmt.Errorf("mixnet: shard identity key invalid: %w", err)
+	}
+	if len(cfg.Authorized) == 0 {
+		return nil, errors.New("mixnet: shard server needs at least one authorized router key")
+	}
+	for _, k := range cfg.Authorized {
+		if k == (box.PublicKey{}) {
+			return nil, errors.New("mixnet: zero key in shard server authorized list")
+		}
+	}
 	return &ShardServer{cfg: cfg, closeCh: make(chan struct{})}, nil
 }
 
@@ -75,7 +153,9 @@ func NewShardServer(cfg ShardConfig) (*ShardServer, error) {
 // and returns one reply per request, in request order. Rounds must be
 // strictly increasing, mirroring the chain servers: a shard never
 // processes the same round twice, which is what makes any retry of a
-// delivered round fail cleanly instead of double-exchanging.
+// delivered round fail cleanly instead of double-exchanging. The check
+// does not care which policy the router runs — a stale round is rejected
+// under Degrade too.
 func (s *ShardServer) ExchangeRound(round uint64, requests [][]byte) ([][]byte, error) {
 	if !s.cfg.AllowRoundReuse {
 		s.mu.Lock()
@@ -92,17 +172,44 @@ func (s *ShardServer) ExchangeRound(round uint64, requests [][]byte) ([][]byte, 
 }
 
 // Serve accepts router connections and processes shard rounds until the
-// listener closes.
+// listener closes. Each accepted connection must complete the
+// authenticated handshake before any frame reaches the exchange.
 func (s *ShardServer) Serve(l net.Listener) error {
 	return serveLoop(l, s.closeCh, s.handleConn)
 }
 
-func (s *ShardServer) handleConn(c *wire.Conn) {
+func (s *ShardServer) handleConn(raw net.Conn) {
+	sc := transport.SecureServer(raw, s.cfg.Identity, s.cfg.Authorized)
+	c := wire.NewConn(sc)
 	defer c.Close()
+	// Bound the unauthenticated phase: a peer that dials and never
+	// finishes the handshake must not hold this goroutine forever. The
+	// bound stays in place until the peer's FIRST authenticated frame:
+	// the handshake hello alone is replayable by a network observer
+	// (it completes the server's side without yielding the replayer a
+	// session key), so completion of the handshake does not yet prove
+	// a live, keyed peer — only an authenticated record does. A real
+	// router dials lazily and sends its round frame immediately, so
+	// the deadline never bites a healthy connection.
+	hsTimeout := s.cfg.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = DefaultHandshakeTimeout
+	}
+	raw.SetDeadline(time.Now().Add(hsTimeout))
+	if err := sc.Handshake(); err != nil {
+		return
+	}
+	first := true
 	for {
 		msg, err := c.Recv()
 		if err != nil {
+			// Includes transport.ErrAuth: an unauthenticated or
+			// tampering peer never gets a frame into the exchange.
 			return
+		}
+		if first {
+			raw.SetDeadline(time.Time{})
+			first = false
 		}
 		var resp *wire.Message
 		if err := wire.CheckShardRound(msg, uint32(s.cfg.Index), uint32(s.cfg.NumShards)); err != nil {
@@ -127,47 +234,105 @@ func (s *ShardServer) Close() error {
 	return nil
 }
 
+// RouterConfig describes the last chain server's shard fan-out.
+type RouterConfig struct {
+	// Net is the substrate the router dials shards over.
+	Net transport.Network
+	// Addrs lists the shard addresses in shard-index order.
+	Addrs []string
+	// ShardPubs are the shards' long-term public keys, aligned with
+	// Addrs (from the chain descriptor). Required: the router only
+	// talks to a shard that proves its listed key.
+	ShardPubs []box.PublicKey
+	// Identity is the router's own long-term private key (the last
+	// chain server's), which the shards authorize. Required.
+	Identity box.PrivateKey
+	// Timeout bounds each shard's per-round RPC (0 = wait forever).
+	Timeout time.Duration
+	// Policy selects Abort (default) or Degrade on shard failure.
+	Policy ShardPolicy
+	// OnDegraded, if set, receives every shard the router degraded
+	// around (Degrade policy only), once per shard per round — the
+	// operator's signal that the round ran at reduced capacity.
+	OnDegraded func(round uint64, shard int, addr string, err error)
+}
+
 // ShardRouter is the last chain server's fan-out client: it partitions
 // each round's innermost exchange requests by drop-ID prefix, forwards
-// every partition to its shard server concurrently, and merges the
-// replies back into exact request order.
+// every partition to its shard server concurrently over authenticated
+// channels, and merges the replies back into exact request order.
 type ShardRouter struct {
-	net     transport.Network
-	addrs   []string
-	timeout time.Duration
+	cfg RouterConfig
 
 	mu    sync.Mutex
 	conns map[int]*shardConn
 }
 
-// shardConn pairs the framed connection with the raw one so per-round
-// read deadlines can be set (wire.Conn does not expose the underlying
-// net.Conn).
+// shardConn pairs the framed connection with the secured one so
+// per-round read deadlines can be set (wire.Conn does not expose the
+// underlying net.Conn).
 type shardConn struct {
 	raw net.Conn
 	c   *wire.Conn
 }
 
-// NewShardRouter returns a router over the given shard addresses.
-// timeout bounds each shard's per-round RPC (0 = wait forever);
-// connections are dialed lazily and kept across rounds.
-func NewShardRouter(network transport.Network, addrs []string, timeout time.Duration) (*ShardRouter, error) {
-	if network == nil {
+// NewShardRouter returns a router over the configured shard addresses.
+// Connections are dialed lazily and kept across rounds; key material is
+// mandatory — there is no plaintext path to a shard.
+func NewShardRouter(cfg RouterConfig) (*ShardRouter, error) {
+	if cfg.Net == nil {
 		return nil, errors.New("mixnet: shard router needs a network")
 	}
-	if len(addrs) == 0 {
+	if len(cfg.Addrs) == 0 {
 		return nil, errors.New("mixnet: shard router needs at least one shard address")
 	}
+	if len(cfg.ShardPubs) != len(cfg.Addrs) {
+		return nil, fmt.Errorf("mixnet: shard router has %d keys for %d shards", len(cfg.ShardPubs), len(cfg.Addrs))
+	}
+	for i, k := range cfg.ShardPubs {
+		if k == (box.PublicKey{}) {
+			return nil, fmt.Errorf("mixnet: shard %d has a zero public key", i)
+		}
+	}
+	if cfg.Identity == (box.PrivateKey{}) {
+		return nil, errors.New("mixnet: shard router needs an identity key")
+	}
+	if _, err := box.PublicKeyOf(&cfg.Identity); err != nil {
+		return nil, fmt.Errorf("mixnet: shard router identity key invalid: %w", err)
+	}
+	if cfg.Policy != ShardAbort && cfg.Policy != ShardDegrade {
+		return nil, fmt.Errorf("mixnet: unknown shard policy %d", int(cfg.Policy))
+	}
 	return &ShardRouter{
-		net:     network,
-		addrs:   addrs,
-		timeout: timeout,
-		conns:   make(map[int]*shardConn),
+		cfg:   cfg,
+		conns: make(map[int]*shardConn),
 	}, nil
 }
 
 // NumShards returns the fan-out width.
-func (r *ShardRouter) NumShards() int { return len(r.addrs) }
+func (r *ShardRouter) NumShards() int { return len(r.cfg.Addrs) }
+
+// refusedError marks a response from an authenticated shard that rejects
+// or malforms the round — a replay rejection, a desynchronized stream, a
+// short reply batch. The shard spoke, with a verified key, and what it
+// said was wrong: that is misbehavior or consumed round state, never a
+// network failure, so it is never degradable.
+type refusedError struct{ err error }
+
+func (e *refusedError) Error() string { return e.err.Error() }
+func (e *refusedError) Unwrap() error { return e.err }
+
+// degradable reports whether err is the kind of failure ShardDegrade may
+// zero-fill around: the shard was unreachable or silent. Authentication
+// failures (someone on the wire is forging) and refused rounds (the
+// shard answered and rejected) always abort.
+func degradable(err error) bool {
+	if errors.Is(err, transport.ErrAuth) {
+		return false
+	}
+	var refused *refusedError
+	return !errors.As(err, &refused)
+}
 
 // Exchange performs one round's dead-drop exchange across the shard
 // servers and returns one reply per request, aligned with the input.
@@ -175,13 +340,22 @@ func (r *ShardRouter) NumShards() int { return len(r.addrs) }
 // exactly as convo.Service does, so the networked path stays
 // byte-identical to the sequential one.
 //
-// Any shard failure aborts the round with a *RemoteError naming the
-// shard: by then at least one shard has consumed the round number, so the
-// predecessor must not blindly retry — the same contract as a failed
-// chain hop. The failed shard's connection is dropped and redialed lazily
-// on the next round.
+// Under ShardAbort, any shard failure aborts the round with a
+// *RemoteError naming the shard: by then at least one shard has consumed
+// the round number, so the predecessor must not blindly retry — the same
+// contract as a failed chain hop. Under ShardDegrade, a shard that is
+// unreachable or silent is zero-filled instead (see ExchangeInfo);
+// authentication failures and shard-side rejections abort either way.
 func (r *ShardRouter) Exchange(round uint64, requests [][]byte) ([][]byte, error) {
-	n := len(r.addrs)
+	replies, _, err := r.ExchangeInfo(round, requests)
+	return replies, err
+}
+
+// ExchangeInfo is Exchange also reporting which shards were degraded
+// (zero-filled) this round, in ascending shard order; the list is empty
+// for a fully healthy round and always empty under ShardAbort.
+func (r *ShardRouter) ExchangeInfo(round uint64, requests [][]byte) ([][]byte, []int, error) {
+	n := len(r.cfg.Addrs)
 	// Partition by drop-ID prefix, preserving arrival order within each
 	// shard — the property that makes per-shard pairing identical to the
 	// global table's.
@@ -202,19 +376,50 @@ func (r *ShardRouter) Exchange(round uint64, requests [][]byte) ([][]byte, error
 	}
 
 	// Fan out with one goroutine per shard: the RPCs are network-bound,
-	// so the width must not be clamped to GOMAXPROCS. ForErr returns the
-	// lowest failing shard's error, deterministically.
+	// so the width must not be clamped to GOMAXPROCS.
 	perShard := make([][][]byte, n)
-	err := parallel.ForErr(n, n, func(s int) error {
-		replies, err := r.rpc(s, round, subs[s])
-		if err != nil {
-			return &RemoteError{Addr: r.addrs[s], Msg: fmt.Sprintf("shard %d: %v", s, err)}
-		}
-		perShard[s] = replies
-		return nil
+	errs := make([]error, n)
+	parallel.For(n, n, func(s int) {
+		perShard[s], errs[s] = r.rpc(s, round, subs[s])
 	})
-	if err != nil {
-		return nil, err
+
+	// Hard failures first, regardless of policy, scanning all shards in
+	// index order (deterministic): an authentication failure or a
+	// shard-side rejection aborts the round even if other shards merely
+	// timed out — Degrade must never mask a forging shard.
+	for s, err := range errs {
+		if err != nil && !degradable(err) {
+			return nil, nil, &RemoteError{
+				Addr: r.cfg.Addrs[s],
+				Msg:  fmt.Sprintf("shard %d: %v", s, err),
+				Err:  err,
+			}
+		}
+	}
+	var degraded []int
+	for s, err := range errs {
+		if err == nil {
+			continue
+		}
+		if r.cfg.Policy != ShardDegrade {
+			return nil, nil, &RemoteError{
+				Addr: r.cfg.Addrs[s],
+				Msg:  fmt.Sprintf("shard %d: %v", s, err),
+				Err:  err,
+			}
+		}
+		// Zero-fill the dead shard's replies in exact request order, so
+		// the merge below stays aligned and the surviving shards'
+		// replies are byte-identical to a healthy round's.
+		zeros := make([][]byte, len(subs[s]))
+		for i := range zeros {
+			zeros[i] = make([]byte, convo.SealedSize)
+		}
+		perShard[s] = zeros
+		degraded = append(degraded, s)
+		if r.cfg.OnDegraded != nil {
+			r.cfg.OnDegraded(round, s, r.cfg.Addrs[s], err)
+		}
 	}
 
 	out := make([][]byte, len(requests))
@@ -225,7 +430,7 @@ func (r *ShardRouter) Exchange(round uint64, requests [][]byte) ([][]byte, error
 		}
 		out[i] = perShard[shardOf[i]][subIdx[i]]
 	}
-	return out, nil
+	return out, degraded, nil
 }
 
 // rpc runs one shard's round trip. The configured timeout covers the
@@ -238,15 +443,17 @@ func (r *ShardRouter) Exchange(round uint64, requests [][]byte) ([][]byte, error
 // and even if it did arrive, the shard's strictly-increasing round check
 // turns the retry into a clean rejection rather than a double exchange.
 // A failure after the frame is in flight (Recv error, timeout, bad
-// reply) is never retried: the shard may have consumed the round.
+// reply) is never retried: the shard may have consumed the round. An
+// authentication failure is never retried either — redialing a forged
+// peer cannot help.
 func (r *ShardRouter) rpc(s int, round uint64, sub [][]byte) ([][]byte, error) {
 	for attempt := 0; ; attempt++ {
 		conn, err := r.conn(s)
 		if err != nil {
 			return nil, err
 		}
-		if r.timeout > 0 {
-			conn.raw.SetDeadline(time.Now().Add(r.timeout))
+		if r.cfg.Timeout > 0 {
+			conn.raw.SetDeadline(time.Now().Add(r.cfg.Timeout))
 		}
 		if err := conn.c.Send(wire.ShardRoundMessage(round, uint32(s), sub)); err != nil {
 			r.drop(s, conn)
@@ -254,7 +461,7 @@ func (r *ShardRouter) rpc(s int, round uint64, sub [][]byte) ([][]byte, error) {
 			// redialing would just burn a second full timeout on the same
 			// stalled peer. Only a fast write error (stale connection from
 			// a shard restart) is worth one retry.
-			if attempt == 1 || errors.Is(err, os.ErrDeadlineExceeded) {
+			if attempt == 1 || errors.Is(err, os.ErrDeadlineExceeded) || errors.Is(err, transport.ErrAuth) {
 				return nil, err
 			}
 			continue
@@ -265,32 +472,42 @@ func (r *ShardRouter) rpc(s int, round uint64, sub [][]byte) ([][]byte, error) {
 
 func (r *ShardRouter) recvReply(s int, conn *shardConn, round uint64, want int) ([][]byte, error) {
 	resp, err := conn.c.Recv()
-	if r.timeout > 0 {
+	if r.cfg.Timeout > 0 {
 		conn.raw.SetDeadline(time.Time{})
 	}
 	if err != nil {
 		r.drop(s, conn)
+		if errors.Is(err, wire.ErrMalformed) || errors.Is(err, wire.ErrFrameTooLarge) {
+			// The bytes authenticated (the record layer verified them)
+			// but do not parse as a frame: the shard itself is sending
+			// garbage. Misbehavior, not an outage — never degradable.
+			return nil, &refusedError{err}
+		}
 		return nil, err
 	}
 	if resp.Kind == wire.KindError && resp.Round == round {
 		// The shard received the round and rejected it; the connection
-		// stays usable for the next round.
-		return nil, errors.New(resp.ErrorString())
+		// stays usable for the next round. An authenticated rejection is
+		// never degradable — it means the round number was consumed.
+		return nil, &refusedError{errors.New(resp.ErrorString())}
 	}
 	if err := wire.CheckShardReply(resp, round, uint32(s), want); err != nil {
 		// Desynchronized stream (stale round, duplicate reply, wrong
 		// shard): drop the connection so the next round starts clean.
+		// The frame authenticated, so this is shard misbehavior, not a
+		// network fault.
 		r.drop(s, conn)
-		return nil, err
+		return nil, &refusedError{err}
 	}
 	return resp.Body, nil
 }
 
-// conn returns shard s's connection, dialing lazily. The dial runs
-// outside the router mutex — a slow connect to one shard must not block
-// the other shards' goroutines — and is bounded by the router timeout,
-// since a blackholed address would otherwise hold the round for the OS
-// connect timeout regardless of ShardTimeout.
+// conn returns shard s's connection, dialing lazily and wrapping every
+// dial in the authenticated channel. The dial runs outside the router
+// mutex — a slow connect to one shard must not block the other shards'
+// goroutines — and is bounded by the router timeout, since a blackholed
+// address would otherwise hold the round for the OS connect timeout
+// regardless of Timeout.
 func (r *ShardRouter) conn(s int) (*shardConn, error) {
 	r.mu.Lock()
 	if c := r.conns[s]; c != nil {
@@ -299,16 +516,17 @@ func (r *ShardRouter) conn(s int) (*shardConn, error) {
 	}
 	r.mu.Unlock()
 
-	raw, err := r.dial(r.addrs[s])
+	raw, err := r.dial(r.cfg.Addrs[s])
 	if err != nil {
-		return nil, fmt.Errorf("dialing %s: %w", r.addrs[s], err)
+		return nil, fmt.Errorf("dialing %s: %w", r.cfg.Addrs[s], err)
 	}
-	c := &shardConn{raw: raw, c: wire.NewConn(raw)}
+	sec := transport.SecureClient(raw, r.cfg.Identity, r.cfg.ShardPubs[s])
+	c := &shardConn{raw: sec, c: wire.NewConn(sec)}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if existing := r.conns[s]; existing != nil {
 		// Lost a race with a concurrent dial to the same shard.
-		raw.Close()
+		sec.Close()
 		return existing, nil
 	}
 	r.conns[s] = c
@@ -320,8 +538,8 @@ func (r *ShardRouter) conn(s int) (*shardConn, error) {
 // a drainer goroutine that closes the connection if the connect ever
 // completes — bounded in practice by the OS connect timeout.
 func (r *ShardRouter) dial(addr string) (net.Conn, error) {
-	if r.timeout <= 0 {
-		return r.net.Dial(addr)
+	if r.cfg.Timeout <= 0 {
+		return r.cfg.Net.Dial(addr)
 	}
 	type result struct {
 		c   net.Conn
@@ -329,10 +547,10 @@ func (r *ShardRouter) dial(addr string) (net.Conn, error) {
 	}
 	ch := make(chan result, 1)
 	go func() {
-		c, err := r.net.Dial(addr)
+		c, err := r.cfg.Net.Dial(addr)
 		ch <- result{c, err}
 	}()
-	t := time.NewTimer(r.timeout)
+	t := time.NewTimer(r.cfg.Timeout)
 	defer t.Stop()
 	select {
 	case res := <-ch:
@@ -343,7 +561,7 @@ func (r *ShardRouter) dial(addr string) (net.Conn, error) {
 				res.c.Close()
 			}
 		}()
-		return nil, fmt.Errorf("connect timeout after %v", r.timeout)
+		return nil, fmt.Errorf("connect timeout after %v", r.cfg.Timeout)
 	}
 }
 

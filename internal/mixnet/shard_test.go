@@ -4,45 +4,109 @@ import (
 	"bytes"
 	"crypto/rand"
 	"errors"
+	"fmt"
 	mrand "math/rand"
 	"testing"
 	"time"
 
 	"vuvuzela/internal/convo"
+	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/deaddrop"
 	"vuvuzela/internal/transport"
 	"vuvuzela/internal/wire"
 )
 
-// startShards launches n shard servers on a fresh in-memory network and
-// returns the network, their addresses, and a shutdown func.
-func startShards(t testing.TB, n, subshards int) (*transport.Mem, []string, func()) {
+// shardFixture is a running set of shard servers plus the key material a
+// router needs to talk to them — every shard test goes through the
+// authenticated channel, exactly like production.
+type shardFixture struct {
+	mem        *transport.Mem
+	addrs      []string
+	shardPubs  []box.PublicKey
+	shardPrivs []box.PrivateKey
+	routerPub  box.PublicKey
+	routerPriv box.PrivateKey
+	stop       func()
+}
+
+func testRouterKeys(t testing.TB) (box.PublicKey, box.PrivateKey) {
 	t.Helper()
-	mem := transport.NewMem()
-	addrs := make([]string, n)
+	return box.KeyPairFromSeed([]byte("test-router"))
+}
+
+func testShardKeys(t testing.TB, n int) ([]box.PublicKey, []box.PrivateKey) {
+	t.Helper()
+	pubs := make([]box.PublicKey, n)
+	privs := make([]box.PrivateKey, n)
+	for i := 0; i < n; i++ {
+		pubs[i], privs[i] = box.KeyPairFromSeed([]byte(fmt.Sprintf("test-shard-%d", i)))
+	}
+	return pubs, privs
+}
+
+// startShards launches n shard servers on a fresh in-memory network and
+// returns the fixture with keys and a shutdown func.
+func startShards(t testing.TB, n, subshards int) *shardFixture {
+	t.Helper()
+	fix := &shardFixture{mem: transport.NewMem()}
+	fix.routerPub, fix.routerPriv = testRouterKeys(t)
+	fix.shardPubs, fix.shardPrivs = testShardKeys(t, n)
+	fix.addrs = make([]string, n)
 	var stops []func()
 	for i := 0; i < n; i++ {
-		ss, err := NewShardServer(ShardConfig{Index: i, NumShards: n, Subshards: subshards})
+		ss, err := NewShardServer(ShardConfig{
+			Index: i, NumShards: n, Subshards: subshards,
+			Identity:   fix.shardPrivs[i],
+			Authorized: []box.PublicKey{fix.routerPub},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		addrs[i] = addrName(i)
-		l, err := mem.Listen(addrs[i])
+		fix.addrs[i] = addrName(i)
+		l, err := fix.mem.Listen(fix.addrs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
 		go ss.Serve(l)
 		stops = append(stops, func() { l.Close(); ss.Close() })
 	}
-	return mem, addrs, func() {
+	fix.stop = func() {
 		for _, stop := range stops {
 			stop()
 		}
 	}
+	return fix
 }
 
 func addrName(i int) string {
 	return string(rune('a'+i)) + "-shard"
+}
+
+// router builds a ShardRouter over the fixture's shards with the given
+// timeout and policy.
+func (fix *shardFixture) router(t testing.TB, timeout time.Duration, policy ShardPolicy) *ShardRouter {
+	t.Helper()
+	return fix.routerOn(t, fix.mem, timeout, policy, nil)
+}
+
+// routerOn is router dialing through an alternate network (a Faulty or
+// MITM wrapper around the fixture's Mem).
+func (fix *shardFixture) routerOn(t testing.TB, net transport.Network, timeout time.Duration, policy ShardPolicy,
+	onDegraded func(round uint64, shard int, addr string, err error)) *ShardRouter {
+	t.Helper()
+	r, err := NewShardRouter(RouterConfig{
+		Net:        net,
+		Addrs:      fix.addrs,
+		ShardPubs:  fix.shardPubs,
+		Identity:   fix.routerPriv,
+		Timeout:    timeout,
+		Policy:     policy,
+		OnDegraded: onDegraded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 // mixedRequests produces a batch mixing well-formed requests over a small
@@ -73,11 +137,11 @@ func mixedRequests(rng *mrand.Rand, n int) [][]byte {
 	return reqs
 }
 
-// TestShardRouterEquivalence is the tentpole's correctness core: the
-// networked fan-out produces byte-identical replies to the sequential
-// table and to the in-process sharded table, for 1, 2, 8, and a
-// non-power-of-two shard count, on batches with colliding and malformed
-// drop IDs.
+// TestShardRouterEquivalence is the correctness core: the networked
+// fan-out — now running entirely inside authenticated channels —
+// produces byte-identical replies to the sequential table and to the
+// in-process sharded table, for 1, 2, 8, and a non-power-of-two shard
+// count, on batches with colliding and malformed drop IDs.
 func TestShardRouterEquivalence(t *testing.T) {
 	rng := mrand.New(mrand.NewSource(11))
 	trials := 12
@@ -85,11 +149,8 @@ func TestShardRouterEquivalence(t *testing.T) {
 		trials = 4
 	}
 	for _, shards := range []int{1, 2, 8, 5} {
-		mem, addrs, stop := startShards(t, shards, 2)
-		router, err := NewShardRouter(mem, addrs, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
+		fix := startShards(t, shards, 2)
+		router := fix.router(t, 0, ShardAbort)
 		for trial := 0; trial < trials; trial++ {
 			round := uint64(trial + 1)
 			reqs := mixedRequests(rng, rng.Intn(200))
@@ -112,19 +173,16 @@ func TestShardRouterEquivalence(t *testing.T) {
 			}
 		}
 		router.Close()
-		stop()
+		fix.stop()
 	}
 }
 
 // TestShardRouterEmptyRound: an empty batch still fans out (every shard
 // sees every round) and merges to zero replies.
 func TestShardRouterEmptyRound(t *testing.T) {
-	mem, addrs, stop := startShards(t, 3, 0)
-	defer stop()
-	router, err := NewShardRouter(mem, addrs, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	fix := startShards(t, 3, 0)
+	defer fix.stop()
+	router := fix.router(t, 0, ShardAbort)
 	defer router.Close()
 	replies, err := router.Exchange(1, nil)
 	if err != nil {
@@ -139,19 +197,16 @@ func TestShardRouterEmptyRound(t *testing.T) {
 // twice, and the router surfaces that as a RemoteError naming the shard —
 // the guard that makes retrying a consumed round fail cleanly.
 func TestShardRoundReplayRejected(t *testing.T) {
-	mem, addrs, stop := startShards(t, 2, 0)
-	defer stop()
-	router, err := NewShardRouter(mem, addrs, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	fix := startShards(t, 2, 0)
+	defer fix.stop()
+	router := fix.router(t, 0, ShardAbort)
 	defer router.Close()
 
 	reqs := mixedRequests(mrand.New(mrand.NewSource(3)), 40)
 	if _, err := router.Exchange(5, reqs); err != nil {
 		t.Fatal(err)
 	}
-	_, err = router.Exchange(5, reqs)
+	_, err := router.Exchange(5, reqs)
 	var remote *RemoteError
 	if !errors.As(err, &remote) {
 		t.Fatalf("replayed round returned %v, want RemoteError", err)
@@ -164,15 +219,16 @@ func TestShardRoundReplayRejected(t *testing.T) {
 
 // TestShardMisroutedFrameRejected: a shard server rejects frames whose
 // index is out of range or routed to the wrong shard, without closing the
-// connection.
+// connection. The probe authenticates with the router's key — an
+// unauthenticated probe would not get as far as frame validation.
 func TestShardMisroutedFrameRejected(t *testing.T) {
-	mem, _, stop := startShards(t, 4, 0)
-	defer stop()
-	raw, err := mem.Dial(addrName(2))
+	fix := startShards(t, 4, 0)
+	defer fix.stop()
+	raw, err := fix.mem.Dial(addrName(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn := wire.NewConn(raw)
+	conn := wire.NewConn(transport.SecureClient(raw, fix.routerPriv, fix.shardPubs[2]))
 	defer conn.Close()
 
 	for _, shard := range []uint32{0, 3, 4, 99} {
@@ -197,17 +253,17 @@ func TestShardMisroutedFrameRejected(t *testing.T) {
 	}
 }
 
-// TestShardDuplicateReplyDesync: a buggy/evil shard that sends two
-// replies for one round desynchronizes its stream; the router must detect
-// the stale frame on the next round, fail that round, and recover on the
-// one after by redialing.
-func TestShardDuplicateReplyDesync(t *testing.T) {
-	mem := transport.NewMem()
-	l, err := mem.Listen("evil")
+// evilShard runs a fake shard server speaking the authenticated channel
+// correctly but misbehaving at the wire layer per handle — the
+// authenticated-but-compromised shard of the threat model.
+func evilShard(t *testing.T, mem *transport.Mem, addr string, priv box.PrivateKey, routerPub box.PublicKey,
+	handle func(conn *wire.Conn, msg *wire.Message, rounds int) bool) {
+	t.Helper()
+	l, err := mem.Listen(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer l.Close()
+	t.Cleanup(func() { l.Close() })
 	go func() {
 		rounds := 0
 		for {
@@ -216,33 +272,48 @@ func TestShardDuplicateReplyDesync(t *testing.T) {
 				return
 			}
 			// Serve connections serially: the router holds one at a time.
-			conn := wire.NewConn(raw)
+			conn := wire.NewConn(transport.SecureServer(raw, priv, []box.PublicKey{routerPub}))
 			for {
 				msg, err := conn.Recv()
 				if err != nil {
 					break
 				}
-				replies := make([][]byte, len(msg.Body))
-				for i := range replies {
-					replies[i] = make([]byte, convo.SealedSize)
-				}
 				rounds++
-				if rounds == 2 {
-					// Desync: replay the previous round's reply frame
-					// ahead of the real one (a duplicate shard reply).
-					if err := conn.Send(wire.ShardReplyMessage(msg.Round-1, msg.ShardIndex(), replies)); err != nil {
-						break
-					}
-				}
-				if err := conn.Send(wire.ShardReplyMessage(msg.Round, msg.ShardIndex(), replies)); err != nil {
+				if !handle(conn, msg, rounds) {
 					break
 				}
 			}
 			conn.Close()
 		}
 	}()
+}
 
-	router, err := NewShardRouter(mem, []string{"evil"}, 0)
+// TestShardDuplicateReplyDesync: a buggy/evil shard that sends two
+// replies for one round desynchronizes its stream; the router must detect
+// the stale frame on the next round, fail that round, and recover on the
+// one after by redialing.
+func TestShardDuplicateReplyDesync(t *testing.T) {
+	mem := transport.NewMem()
+	routerPub, routerPriv := testRouterKeys(t)
+	evilPub, evilPriv := box.KeyPairFromSeed([]byte("evil-shard"))
+	evilShard(t, mem, "evil", evilPriv, routerPub, func(conn *wire.Conn, msg *wire.Message, rounds int) bool {
+		replies := make([][]byte, len(msg.Body))
+		for i := range replies {
+			replies[i] = make([]byte, convo.SealedSize)
+		}
+		if rounds == 2 {
+			// Desync: replay the previous round's reply frame ahead of
+			// the real one (a duplicate shard reply).
+			if err := conn.Send(wire.ShardReplyMessage(msg.Round-1, msg.ShardIndex(), replies)); err != nil {
+				return false
+			}
+		}
+		return conn.Send(wire.ShardReplyMessage(msg.Round, msg.ShardIndex(), replies)) == nil
+	})
+
+	router, err := NewShardRouter(RouterConfig{
+		Net: mem, Addrs: []string{"evil"}, ShardPubs: []box.PublicKey{evilPub}, Identity: routerPriv,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,33 +339,20 @@ func TestShardDuplicateReplyDesync(t *testing.T) {
 // of replies must fail the round rather than misalign the merge.
 func TestShardReplyCountMismatchRejected(t *testing.T) {
 	mem := transport.NewMem()
-	l, err := mem.Listen("short")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l.Close()
-	go func() {
-		raw, err := l.Accept()
-		if err != nil {
-			return
+	routerPub, routerPriv := testRouterKeys(t)
+	shortPub, shortPriv := box.KeyPairFromSeed([]byte("short-shard"))
+	evilShard(t, mem, "short", shortPriv, routerPub, func(conn *wire.Conn, msg *wire.Message, rounds int) bool {
+		// One reply too few.
+		replies := make([][]byte, 0, len(msg.Body))
+		for i := 0; i+1 < len(msg.Body); i++ {
+			replies = append(replies, make([]byte, convo.SealedSize))
 		}
-		conn := wire.NewConn(raw)
-		defer conn.Close()
-		for {
-			msg, err := conn.Recv()
-			if err != nil {
-				return
-			}
-			// One reply too few.
-			replies := make([][]byte, 0, len(msg.Body))
-			for i := 0; i+1 < len(msg.Body); i++ {
-				replies = append(replies, make([]byte, convo.SealedSize))
-			}
-			conn.Send(wire.ShardReplyMessage(msg.Round, msg.ShardIndex(), replies))
-		}
-	}()
+		return conn.Send(wire.ShardReplyMessage(msg.Round, msg.ShardIndex(), replies)) == nil
+	})
 
-	router, err := NewShardRouter(mem, []string{"short"}, 0)
+	router, err := NewShardRouter(RouterConfig{
+		Net: mem, Addrs: []string{"short"}, ShardPubs: []box.PublicKey{shortPub}, Identity: routerPriv,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,11 +367,13 @@ func TestShardReplyCountMismatchRejected(t *testing.T) {
 
 // TestShardSendStallTimesOut: the per-shard timeout must cover the send
 // leg too — a shard that accepts the connection but never drains bytes
-// (stopped process, full TCP window) stalls the router's write, and
-// without a write deadline the fan-out barrier would wedge the whole
-// chain forever.
+// (stopped process, full TCP window) stalls the router's write (now the
+// handshake hello), and without a write deadline the fan-out barrier
+// would wedge the whole chain forever.
 func TestShardSendStallTimesOut(t *testing.T) {
 	mem := transport.NewMem()
+	_, routerPriv := testRouterKeys(t)
+	stalledPub, _ := box.KeyPairFromSeed([]byte("stalled-shard"))
 	l, err := mem.Listen("stalled")
 	if err != nil {
 		t.Fatal(err)
@@ -333,7 +393,10 @@ func TestShardSendStallTimesOut(t *testing.T) {
 		}
 	}()
 
-	router, err := NewShardRouter(mem, []string{"stalled"}, 150*time.Millisecond)
+	router, err := NewShardRouter(RouterConfig{
+		Net: mem, Addrs: []string{"stalled"}, ShardPubs: []box.PublicKey{stalledPub},
+		Identity: routerPriv, Timeout: 150 * time.Millisecond,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,30 +415,193 @@ func TestShardSendStallTimesOut(t *testing.T) {
 	<-accepted
 }
 
-// TestShardConfigValidation covers constructor error paths.
+// TestShardHandshakeTimeoutDropsIdleDialer: a peer that connects to a
+// shard and never completes the handshake is dropped after the
+// handshake timeout — an unauthenticated dial cannot pin a shard
+// goroutine and socket forever.
+func TestShardHandshakeTimeoutDropsIdleDialer(t *testing.T) {
+	mem := transport.NewMem()
+	routerPub, _ := testRouterKeys(t)
+	_, shardPriv := box.KeyPairFromSeed([]byte("hs-timeout-shard"))
+	ss, err := NewShardServer(ShardConfig{
+		Index: 0, NumShards: 1,
+		Identity: shardPriv, Authorized: []box.PublicKey{routerPub},
+		HandshakeTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := mem.Listen("hs-timeout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go ss.Serve(l)
+	defer ss.Close()
+
+	raw, err := mem.Dial("hs-timeout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetReadDeadline(time.Now().Add(3 * time.Second))
+	start := time.Now()
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Fatal("idle unauthenticated dialer received data")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("idle dialer held its connection for %v with a 100ms handshake timeout", elapsed)
+	}
+}
+
+// TestShardHandshakeReplayCannotPinGoroutine: a network observer can
+// replay a captured handshake hello verbatim — it completes the shard's
+// side of the handshake (the replayer never learns the session key), so
+// handshake completion alone must NOT lift the connection deadline. The
+// shard keeps the bound until the first authenticated frame, and the
+// replayed connection is dropped within the handshake timeout.
+func TestShardHandshakeReplayCannotPinGoroutine(t *testing.T) {
+	mem := transport.NewMem()
+	routerPub, routerPriv := testRouterKeys(t)
+	shardPub, shardPriv := box.KeyPairFromSeed([]byte("replay-shard"))
+	ss, err := NewShardServer(ShardConfig{
+		Index: 0, NumShards: 1,
+		Identity: shardPriv, Authorized: []box.PublicKey{routerPub},
+		HandshakeTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := mem.Listen("replay-shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go ss.Serve(l)
+	defer ss.Close()
+
+	// Capture a genuine hello off the wire with the MITM tap, driving
+	// one legitimate exchange through it.
+	var hello []byte
+	mitm := transport.NewMITM(mem)
+	mitm.Intercept("replay-shard", func(dir transport.Direction, index int, rec []byte) [][]byte {
+		if dir == transport.ClientToServer && index == 0 {
+			hello = append([]byte(nil), rec...)
+		}
+		return [][]byte{rec}
+	})
+	raw, err := mitm.Dial("replay-shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit := wire.NewConn(transport.SecureClient(raw, routerPriv, shardPub))
+	if err := legit.Send(wire.ShardRoundMessage(1, 0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := legit.Recv(); err != nil {
+		t.Fatalf("legitimate exchange through the tap: %v", err)
+	}
+	legit.Close()
+	if len(hello) == 0 {
+		t.Fatal("tap captured no handshake hello")
+	}
+
+	// Replay the hello verbatim, then go silent: the server answers the
+	// handshake but must drop the connection once no authenticated
+	// frame follows.
+	replay, err := mem.Dial("replay-shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replay.Close()
+	frame := make([]byte, 4+len(hello))
+	frame[3] = byte(len(hello))
+	copy(frame[4:], hello)
+	if _, err := replay.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	replay.SetReadDeadline(time.Now().Add(3 * time.Second))
+	start := time.Now()
+	// Drain whatever the server sends (its handshake response) until the
+	// connection dies; it must die within the handshake timeout, not
+	// hang forever.
+	buf := make([]byte, 1024)
+	for {
+		if _, err := replay.Read(buf); err != nil {
+			break
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("replayed hello pinned the shard connection for %v with a 150ms handshake timeout", elapsed)
+	}
+}
+
+// TestShardConfigValidation covers constructor error paths — including
+// the new requirement that neither side constructs without key material,
+// which is what makes the plaintext path unreachable.
 func TestShardConfigValidation(t *testing.T) {
-	if _, err := NewShardServer(ShardConfig{Index: 0, NumShards: 0}); err == nil {
+	_, priv := box.KeyPairFromSeed([]byte("cfg-shard"))
+	routerPub, routerPriv := testRouterKeys(t)
+	auth := []box.PublicKey{routerPub}
+	if _, err := NewShardServer(ShardConfig{Index: 0, NumShards: 0, Identity: priv, Authorized: auth}); err == nil {
 		t.Fatal("zero shards accepted")
 	}
-	if _, err := NewShardServer(ShardConfig{Index: 3, NumShards: 3}); err == nil {
+	if _, err := NewShardServer(ShardConfig{Index: 3, NumShards: 3, Identity: priv, Authorized: auth}); err == nil {
 		t.Fatal("out-of-range index accepted")
 	}
-	if _, err := NewShardRouter(nil, []string{"x"}, 0); err == nil {
+	if _, err := NewShardServer(ShardConfig{Index: 0, NumShards: 1, Authorized: auth}); err == nil {
+		t.Fatal("shard server without an identity key accepted")
+	}
+	if _, err := NewShardServer(ShardConfig{Index: 0, NumShards: 1, Identity: priv}); err == nil {
+		t.Fatal("shard server without authorized routers accepted")
+	}
+	if _, err := NewShardServer(ShardConfig{Index: 0, NumShards: 1, Identity: priv,
+		Authorized: []box.PublicKey{{}}}); err == nil {
+		t.Fatal("zero authorized key accepted")
+	}
+
+	shardPub, _ := box.KeyPairFromSeed([]byte("cfg-shard"))
+	mem := transport.NewMem()
+	if _, err := NewShardRouter(RouterConfig{Addrs: []string{"x"}, ShardPubs: []box.PublicKey{shardPub}, Identity: routerPriv}); err == nil {
 		t.Fatal("nil network accepted")
 	}
-	if _, err := NewShardRouter(transport.NewMem(), nil, 0); err == nil {
+	if _, err := NewShardRouter(RouterConfig{Net: mem, Identity: routerPriv}); err == nil {
 		t.Fatal("empty address list accepted")
 	}
+	if _, err := NewShardRouter(RouterConfig{Net: mem, Addrs: []string{"x"}, Identity: routerPriv}); err == nil {
+		t.Fatal("router without shard keys accepted — plaintext fan-out must be unreachable")
+	}
+	if _, err := NewShardRouter(RouterConfig{Net: mem, Addrs: []string{"x"},
+		ShardPubs: []box.PublicKey{{}}, Identity: routerPriv}); err == nil {
+		t.Fatal("zero shard key accepted")
+	}
+	if _, err := NewShardRouter(RouterConfig{Net: mem, Addrs: []string{"x"},
+		ShardPubs: []box.PublicKey{shardPub}}); err == nil {
+		t.Fatal("router without an identity key accepted")
+	}
+	if _, err := NewShardRouter(RouterConfig{Net: mem, Addrs: []string{"x"},
+		ShardPubs: []box.PublicKey{shardPub}, Identity: routerPriv, Policy: ShardPolicy(99)}); err == nil {
+		t.Fatal("unknown shard policy accepted")
+	}
+
 	pubs, privs, _ := NewChainKeys(2)
 	if _, err := NewServer(Config{
 		Position: 0, ChainPubs: pubs, Priv: privs[0],
-		Net: transport.NewMem(), NextAddr: "next", ShardAddrs: []string{"s0"},
+		Net: transport.NewMem(), NextAddr: "next",
+		ShardAddrs: []string{"s0"}, ShardPubs: []box.PublicKey{shardPub},
 	}); err == nil {
 		t.Fatal("shard addresses on a non-last server accepted")
 	}
 	if _, err := NewServer(Config{
-		Position: 1, ChainPubs: pubs, Priv: privs[1], ShardAddrs: []string{"s0"},
+		Position: 1, ChainPubs: pubs, Priv: privs[1],
+		ShardAddrs: []string{"s0"}, ShardPubs: []box.PublicKey{shardPub},
 	}); err == nil {
 		t.Fatal("shard addresses without a network accepted")
+	}
+	if _, err := NewServer(Config{
+		Position: 1, ChainPubs: pubs, Priv: privs[1], Net: transport.NewMem(),
+		ShardAddrs: []string{"s0"},
+	}); err == nil {
+		t.Fatal("last server with shard addresses but no shard keys accepted")
 	}
 }

@@ -13,7 +13,10 @@ import (
 
 // ShardNetConfig describes an in-memory chain whose last server fans the
 // dead-drop exchange out to networked shard servers — the multi-machine
-// last-hop topology, runnable inside one test process.
+// last-hop topology, runnable inside one test process. The router↔shard
+// leg runs inside transport.Secure exactly as in production: the harness
+// generates a long-term key per shard and authorizes the last chain
+// server's key on every shard.
 type ShardNetConfig struct {
 	// Servers is the chain length (>= 1).
 	Servers int
@@ -27,12 +30,17 @@ type ShardNetConfig struct {
 	Workers int
 	// ShardTimeout bounds each shard RPC (0 = wait forever).
 	ShardTimeout time.Duration
+	// Policy selects Abort (default) or Degrade on shard failure.
+	Policy mixnet.ShardPolicy
+	// OnDegraded receives each shard the router degrades around.
+	OnDegraded func(round uint64, shard int, addr string, err error)
 	// Net is the network the shard servers listen on; nil means a fresh
 	// in-memory transport.Mem.
 	Net transport.Network
 	// DialNet is what the last server dials shards through; nil means
-	// Net. Wrap Net in a transport.Faulty here to inject shard faults
-	// while the listeners stay healthy.
+	// Net. Wrap Net in a transport.Faulty here to inject shard faults,
+	// or a transport.MITM to tamper with the (encrypted) leg, while the
+	// listeners stay healthy.
 	DialNet transport.Network
 }
 
@@ -45,6 +53,8 @@ type ShardNet struct {
 	Chain []*mixnet.Server
 	// Shards are the networked shard servers, by index.
 	Shards []*mixnet.ShardServer
+	// ShardPubs are the shards' long-term public keys, by index.
+	ShardPubs []box.PublicKey
 	// Addrs are the shard listen addresses, by index.
 	Addrs []string
 
@@ -53,7 +63,8 @@ type ShardNet struct {
 
 // NewShardNet starts the shard servers on their listeners and builds the
 // chain: positions 0..n-2 feed the next position in-process; the last
-// position routes the exchange to the shards over the (in-memory) wire.
+// position routes the exchange to the shards over the (in-memory) wire,
+// inside authenticated channels.
 func NewShardNet(cfg ShardNetConfig) (*ShardNet, error) {
 	if cfg.Servers < 1 || cfg.Shards < 1 {
 		return nil, fmt.Errorf("sim: shard net needs >= 1 server and shard, got %d/%d", cfg.Servers, cfg.Shards)
@@ -69,14 +80,21 @@ func NewShardNet(cfg ShardNetConfig) (*ShardNet, error) {
 	if err != nil {
 		return nil, err
 	}
-	sn := &ShardNet{Pubs: pubs}
+	shardPubs, shardPrivs, err := mixnet.NewChainKeys(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	routerPub := pubs[cfg.Servers-1]
+	sn := &ShardNet{Pubs: pubs, ShardPubs: shardPubs}
 
 	for i := 0; i < cfg.Shards; i++ {
 		ss, err := mixnet.NewShardServer(mixnet.ShardConfig{
-			Index:     i,
-			NumShards: cfg.Shards,
-			Subshards: cfg.Subshards,
-			Workers:   cfg.Workers,
+			Index:      i,
+			NumShards:  cfg.Shards,
+			Subshards:  cfg.Subshards,
+			Workers:    cfg.Workers,
+			Identity:   shardPrivs[i],
+			Authorized: []box.PublicKey{routerPub},
 		})
 		if err != nil {
 			sn.Close()
@@ -105,7 +123,10 @@ func NewShardNet(cfg ShardNetConfig) (*ShardNet, error) {
 		if i == cfg.Servers-1 {
 			mc.Net = cfg.DialNet
 			mc.ShardAddrs = sn.Addrs
+			mc.ShardPubs = shardPubs
 			mc.ShardTimeout = cfg.ShardTimeout
+			mc.ShardPolicy = cfg.Policy
+			mc.OnShardDegraded = cfg.OnDegraded
 		} else {
 			mc.NextLocal = sn.Chain[i+1]
 			if cfg.Mu > 0 {
@@ -141,9 +162,10 @@ func (sn *ShardNet) Close() {
 }
 
 // MeasureShardNetRound runs one real conversation round through a chain
-// whose last hop is a `shards`-way networked fan-out, with the same load
-// shape as MeasureConvoRound — the measurable half of the horizontal
-// last-server scaling claim, used by `vuvuzela-bench shardnet`.
+// whose last hop is a `shards`-way networked fan-out — every leg inside
+// the authenticated channel — with the same load shape as
+// MeasureConvoRound: the measurable half of the horizontal last-server
+// scaling claim, used by `vuvuzela-bench shardnet`.
 func MeasureShardNetRound(users, mu, servers, shards int) (MeasuredPoint, error) {
 	sn, err := NewShardNet(ShardNetConfig{Servers: servers, Shards: shards, Mu: mu})
 	if err != nil {
@@ -165,4 +187,49 @@ func MeasureShardNetRound(users, mu, servers, shards int) (MeasuredPoint, error)
 		return MeasuredPoint{}, fmt.Errorf("sim: %d replies for %d users", len(replies), users)
 	}
 	return MeasuredPoint{Users: users, Mu: mu, Servers: servers, Latency: elapsed, Msgs: users}, nil
+}
+
+// MeasureDegradedShardNetRound is MeasureShardNetRound with `kill`
+// shards broken before the round and ShardPolicy=Degrade: it measures
+// the latency of a round that zero-fills the dead shards, and returns
+// how many shards actually degraded — the cost of the graceful-
+// degradation path for `vuvuzela-bench shardnet -degrade`.
+func MeasureDegradedShardNetRound(users, mu, servers, shards, kill int) (MeasuredPoint, int, error) {
+	if kill < 0 || kill >= shards {
+		return MeasuredPoint{}, 0, fmt.Errorf("sim: cannot kill %d of %d shards", kill, shards)
+	}
+	mem := transport.NewMem()
+	faulty := transport.NewFaulty(mem)
+	degraded := 0
+	sn, err := NewShardNet(ShardNetConfig{
+		Servers: servers, Shards: shards, Mu: mu,
+		Policy:  mixnet.ShardDegrade,
+		Net:     mem,
+		DialNet: faulty,
+		OnDegraded: func(round uint64, shard int, addr string, err error) {
+			degraded++
+		},
+	})
+	if err != nil {
+		return MeasuredPoint{}, 0, err
+	}
+	defer sn.Close()
+	for i := 0; i < kill; i++ {
+		faulty.Break(sn.Addrs[i])
+	}
+
+	onions, err := conversingOnions(users, 1, sn.Pubs)
+	if err != nil {
+		return MeasuredPoint{}, 0, err
+	}
+	start := time.Now()
+	replies, err := sn.Head().ConvoRound(1, onions)
+	elapsed := time.Since(start)
+	if err != nil {
+		return MeasuredPoint{}, 0, err
+	}
+	if len(replies) != users {
+		return MeasuredPoint{}, 0, fmt.Errorf("sim: %d replies for %d users", len(replies), users)
+	}
+	return MeasuredPoint{Users: users, Mu: mu, Servers: servers, Latency: elapsed, Msgs: users}, degraded, nil
 }

@@ -4,23 +4,28 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"vuvuzela/internal/convo"
 	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/deaddrop"
 	"vuvuzela/internal/mixnet"
 	"vuvuzela/internal/noise"
 	"vuvuzela/internal/onion"
 	"vuvuzela/internal/transport"
 )
 
-// TestShardNetChainEquivalence is the tentpole acceptance test: an
-// end-to-end conversation round through a 3-server chain whose last hop
-// fans out to networked shard servers is byte-identical to the sequential
-// in-process path and to the in-process sharded path, for 1, 2, 4, 8,
-// and a non-power-of-two shard count. The batch mixes real conversations,
-// an idle (fake-request) client, and malformed onions.
+// TestShardNetChainEquivalence is the acceptance core: an end-to-end
+// conversation round through a 3-server chain whose last hop fans out to
+// networked shard servers — over authenticated channels — is
+// byte-identical to the sequential in-process path and to the in-process
+// sharded path, for 1, 2, 4, 8, and a non-power-of-two shard count, and
+// under BOTH shard policies (Degrade with zero failures must change
+// nothing). The batch mixes real conversations, an idle (fake-request)
+// client, and malformed onions.
 func TestShardNetChainEquivalence(t *testing.T) {
 	defer LeakCheck(t)()
 	const servers = 3
@@ -51,20 +56,23 @@ func TestShardNetChainEquivalence(t *testing.T) {
 	}
 	compareReplies(t, "in-process shards=4", inproc, want)
 
-	// Networked fan-out at several widths, same keys, same onions.
+	// Networked fan-out at several widths, same keys, same onions, both
+	// policies.
 	shardCounts := []int{1, 2, 4, 8, 5}
 	if testing.Short() {
 		shardCounts = []int{1, 4}
 	}
 	for _, shards := range shardCounts {
-		sn := shardNetWithKeys(t, pubs, privs, mu, shards)
-		got, err := sn.Head().ConvoRound(round, onions)
-		if err != nil {
+		for _, policy := range []mixnet.ShardPolicy{mixnet.ShardAbort, mixnet.ShardDegrade} {
+			sn := shardNetWithKeys(t, pubs, privs, mu, shards, policy)
+			got, err := sn.Head().ConvoRound(round, onions)
+			if err != nil {
+				sn.Close()
+				t.Fatalf("shards=%d policy=%v: %v", shards, policy, err)
+			}
+			compareReplies(t, "networked", got, want)
 			sn.Close()
-			t.Fatalf("shards=%d: %v", shards, err)
 		}
-		compareReplies(t, "networked", got, want)
-		sn.Close()
 	}
 }
 
@@ -138,13 +146,21 @@ func localChainWithShards(t *testing.T, pubs []box.PublicKey, privs []box.Privat
 }
 
 // shardNetWithKeys is NewShardNet over pre-made chain keys, so multiple
-// topologies can process byte-identical onions.
-func shardNetWithKeys(t *testing.T, pubs []box.PublicKey, privs []box.PrivateKey, mu, shards int) *ShardNet {
+// topologies can process byte-identical onions. Shard identities are
+// deterministic per index; the last chain server's key is the authorized
+// router key, as in production.
+func shardNetWithKeys(t *testing.T, pubs []box.PublicKey, privs []box.PrivateKey, mu, shards int, policy mixnet.ShardPolicy) *ShardNet {
 	t.Helper()
 	mem := transport.NewMem()
 	sn := &ShardNet{Pubs: pubs}
+	routerPub := pubs[len(pubs)-1]
 	for i := 0; i < shards; i++ {
-		ss, err := mixnet.NewShardServer(mixnet.ShardConfig{Index: i, NumShards: shards, Subshards: 2})
+		shardPub, shardPriv := box.KeyPairFromSeed([]byte("equiv-shard-" + string(rune('0'+i))))
+		ss, err := mixnet.NewShardServer(mixnet.ShardConfig{
+			Index: i, NumShards: shards, Subshards: 2,
+			Identity:   shardPriv,
+			Authorized: []box.PublicKey{routerPub},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,6 +171,7 @@ func shardNetWithKeys(t *testing.T, pubs []box.PublicKey, privs []box.PrivateKey
 		}
 		go ss.Serve(l)
 		sn.Shards = append(sn.Shards, ss)
+		sn.ShardPubs = append(sn.ShardPubs, shardPub)
 		sn.Addrs = append(sn.Addrs, addr)
 		sn.listeners = append(sn.listeners, l)
 	}
@@ -165,6 +182,8 @@ func shardNetWithKeys(t *testing.T, pubs []box.PublicKey, privs []box.PrivateKey
 		if i == n-1 {
 			cfg.Net = mem
 			cfg.ShardAddrs = sn.Addrs
+			cfg.ShardPubs = sn.ShardPubs
+			cfg.ShardPolicy = policy
 		} else {
 			cfg.NextLocal = sn.Chain[i+1]
 			cfg.ConvoNoise = noise.Fixed{N: mu}
@@ -182,6 +201,12 @@ func shardNetWithKeys(t *testing.T, pubs []box.PublicKey, privs []box.PrivateKey
 // transport.Faulty dialer, so tests can kill/hang individual shards.
 func faultNet(t *testing.T, shards int, timeout time.Duration) (*ShardNet, *transport.Faulty) {
 	t.Helper()
+	return faultNetPolicy(t, shards, timeout, mixnet.ShardAbort, nil)
+}
+
+func faultNetPolicy(t *testing.T, shards int, timeout time.Duration, policy mixnet.ShardPolicy,
+	onDegraded func(round uint64, shard int, addr string, err error)) (*ShardNet, *transport.Faulty) {
+	t.Helper()
 	mem := transport.NewMem()
 	faulty := transport.NewFaulty(mem)
 	sn, err := NewShardNet(ShardNetConfig{
@@ -189,6 +214,8 @@ func faultNet(t *testing.T, shards int, timeout time.Duration) (*ShardNet, *tran
 		Shards:       shards,
 		Mu:           2,
 		ShardTimeout: timeout,
+		Policy:       policy,
+		OnDegraded:   onDegraded,
 		Net:          mem,
 		DialNet:      faulty,
 	})
@@ -196,6 +223,98 @@ func faultNet(t *testing.T, shards int, timeout time.Duration) (*ShardNet, *tran
 		t.Fatal(err)
 	}
 	return sn, faulty
+}
+
+// convoPair is one conversing pair's round state: the onions to submit
+// and what each side needs to decode its reply.
+type convoPair struct {
+	seedA, seedB string
+	shard        int // which shard the pair's dead drop routes to
+	oA, oB       []byte
+	aKeys, bKeys []*[32]byte
+	sA, sB       *[32]byte
+	aPub, bPub   box.PublicKey
+}
+
+// buildPairs constructs `n` conversing pairs for a round and computes
+// which shard each pair's drop routes to, so fault tests can predict
+// exactly which conversations a dead shard takes down.
+func buildPairs(t *testing.T, sn *ShardNet, round uint64, n, shards int) []*convoPair {
+	t.Helper()
+	pairs := make([]*convoPair, n)
+	for i := range pairs {
+		p := &convoPair{
+			seedA: "fault-a-" + string(rune('0'+i)),
+			seedB: "fault-b-" + string(rune('0'+i)),
+		}
+		var aPriv, bPriv box.PrivateKey
+		p.aPub, aPriv = box.KeyPairFromSeed([]byte(p.seedA))
+		p.bPub, bPriv = box.KeyPairFromSeed([]byte(p.seedB))
+		var err error
+		p.sA, err = convo.DeriveSecret(&aPriv, &p.bPub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.sB, err = convo.DeriveSecret(&bPriv, &p.aPub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqA, err := convo.BuildRequest(p.sA, round, &p.aPub, []byte("ping"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqB, err := convo.BuildRequest(p.sB, round, &p.bPub, []byte("pong"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var id deaddrop.ID
+		copy(id[:], reqA.Marshal()[:deaddrop.IDSize])
+		p.shard = deaddrop.ShardOf(id, shards)
+		p.oA, p.aKeys, err = onion.Wrap(reqA.Marshal(), round, 0, sn.Pubs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.oB, p.bKeys, err = onion.Wrap(reqB.Marshal(), round, 0, sn.Pubs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[i] = p
+	}
+	return pairs
+}
+
+// runPairsRound submits every pair's onions in one round and returns
+// each pair's decode outcome: true if the pair exchanged ping/pong.
+func runPairsRound(t *testing.T, sn *ShardNet, round uint64, pairs []*convoPair) ([]bool, error) {
+	t.Helper()
+	onions := make([][]byte, 0, 2*len(pairs))
+	for _, p := range pairs {
+		onions = append(onions, p.oA, p.oB)
+	}
+	replies, err := sn.Head().ConvoRound(round, onions)
+	if err != nil {
+		return nil, err
+	}
+	if len(replies) != len(onions) {
+		t.Fatalf("round %d: %d replies for %d onions", round, len(replies), len(onions))
+	}
+	ok := make([]bool, len(pairs))
+	for i, p := range pairs {
+		innerA, errA := onion.UnwrapReply(replies[2*i], round, 0, p.aKeys)
+		innerB, errB := onion.UnwrapReply(replies[2*i+1], round, 0, p.bKeys)
+		if errA != nil || errB != nil {
+			// The reply onion itself must always decode — zero-filling
+			// happens inside the sealed payload.
+			t.Fatalf("round %d pair %d: reply onion broken: %v/%v", round, i, errA, errB)
+		}
+		msgA, okA := convo.OpenReply(p.sA, round, &p.bPub, innerA)
+		msgB, okB := convo.OpenReply(p.sB, round, &p.aPub, innerB)
+		ok[i] = okA && okB && string(msgA) == "pong" && string(msgB) == "ping"
+		if okA != okB {
+			t.Fatalf("round %d pair %d: asymmetric outcome %v/%v — replies reordered?", round, i, okA, okB)
+		}
+	}
+	return ok, nil
 }
 
 // runRound drives one conversation round with a fresh conversing pair and
@@ -353,6 +472,165 @@ func TestShardFaultErroringShard(t *testing.T) {
 	}
 }
 
+// TestShardFaultMatrixDegrade is the chain-level fault matrix: with
+// k-of-n shards killed or hung under ShardPolicy=Degrade, the round
+// completes end to end; every pair whose drop lives on a surviving shard
+// exchanges its messages exactly as in a healthy round (no reordering),
+// every pair on a dead shard observes a missing dead drop (the
+// zero-filled payload fails to authenticate), the degraded set matches
+// the fault set, and the harness shuts down without leaking goroutines.
+func TestShardFaultMatrixDegrade(t *testing.T) {
+	defer LeakCheck(t)()
+	const shards = 5
+	matrix := []struct {
+		name  string
+		kill  []int
+		hang  []int
+	}{
+		{"one-killed", []int{2}, nil},
+		{"two-killed", []int{0, 4}, nil},
+		{"one-hung", nil, []int{1}},
+		{"killed-and-hung", []int{3}, []int{0}},
+	}
+	for _, tc := range matrix {
+		t.Run(tc.name, func(t *testing.T) {
+			var mu sync.Mutex
+			degraded := make(map[int]bool)
+			sn, faulty := faultNetPolicy(t, shards, 300*time.Millisecond, mixnet.ShardDegrade,
+				func(round uint64, shard int, addr string, err error) {
+					mu.Lock()
+					degraded[shard] = true
+					mu.Unlock()
+				})
+			defer sn.Close()
+
+			// Round 1: healthy; every pair converses.
+			pairs := buildPairs(t, sn, 1, 10, shards)
+			ok, err := runPairsRound(t, sn, 1, pairs)
+			if err != nil {
+				t.Fatalf("healthy round: %v", err)
+			}
+			for i, o := range ok {
+				if !o {
+					t.Fatalf("healthy round: pair %d failed to converse", i)
+				}
+			}
+			if len(degraded) != 0 {
+				t.Fatalf("healthy round degraded shards %v", degraded)
+			}
+
+			dead := make(map[int]bool)
+			for _, s := range tc.kill {
+				faulty.Break(sn.Addrs[s])
+				dead[s] = true
+			}
+			for _, s := range tc.hang {
+				faulty.Hang(sn.Addrs[s])
+				dead[s] = true
+			}
+
+			// Round 2: degraded; outcomes split exactly along shard
+			// liveness.
+			pairs2 := buildPairs(t, sn, 2, 10, shards)
+			ok2, err := runPairsRound(t, sn, 2, pairs2)
+			if err != nil {
+				t.Fatalf("degraded round: %v", err)
+			}
+			for i, p := range pairs2 {
+				if dead[p.shard] && ok2[i] {
+					t.Fatalf("pair %d on dead shard %d still conversed", i, p.shard)
+				}
+				if !dead[p.shard] && !ok2[i] {
+					t.Fatalf("pair %d on healthy shard %d lost its messages", i, p.shard)
+				}
+			}
+			mu.Lock()
+			for s := range dead {
+				if !degraded[s] {
+					t.Errorf("dead shard %d not reported degraded", s)
+				}
+			}
+			for s := range degraded {
+				if !dead[s] {
+					t.Errorf("healthy shard %d reported degraded", s)
+				}
+			}
+			mu.Unlock()
+
+			// Round 3: healed; everything converses again.
+			for s := range dead {
+				faulty.Restore(sn.Addrs[s])
+			}
+			pairs3 := buildPairs(t, sn, 3, 6, shards)
+			ok3, err := runPairsRound(t, sn, 3, pairs3)
+			if err != nil {
+				t.Fatalf("healed round: %v", err)
+			}
+			for i, o := range ok3 {
+				if !o {
+					t.Fatalf("healed round: pair %d failed to converse", i)
+				}
+			}
+		})
+	}
+}
+
+// TestShardNetMITMTamperAbortsRound: end-to-end through the chain, a
+// man-in-the-middle flipping one byte of the (encrypted) router→shard
+// traffic aborts the round with an authentication error — even under
+// ShardPolicy=Degrade, because the shard's authenticated alert tells the
+// router the leg is under attack, not down. Disarming the tap recovers
+// the next round over a fresh connection.
+func TestShardNetMITMTamperAbortsRound(t *testing.T) {
+	defer LeakCheck(t)()
+	mem := transport.NewMem()
+	mitm := transport.NewMITM(mem)
+	var armed atomic.Bool
+	sn, err := NewShardNet(ShardNetConfig{
+		Servers: 2, Shards: 3, Mu: 2,
+		Policy:  mixnet.ShardDegrade,
+		Net:     mem,
+		DialNet: mitm,
+		OnDegraded: func(round uint64, shard int, addr string, err error) {
+			t.Errorf("round %d degraded shard %d around an active tamper: %v", round, shard, err)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	// The tap must exist before the router dials; it stays passive until
+	// armed, so round 1 runs clean over the intercepted connection.
+	mitm.Intercept(sn.Addrs[1], func(dir transport.Direction, index int, rec []byte) [][]byte {
+		if armed.Load() && dir == transport.ClientToServer && index >= 1 {
+			rec[len(rec)/3] ^= 0x01
+		}
+		return [][]byte{rec}
+	})
+
+	if err := runRound(t, sn, 1); err != nil {
+		t.Fatalf("healthy round through passive tap: %v", err)
+	}
+
+	armed.Store(true)
+	err = runRound(t, sn, 2)
+	if err == nil {
+		t.Fatal("round with tampered shard leg succeeded")
+	}
+	var remote *mixnet.RemoteError
+	if !errors.As(err, &remote) || remote.Addr != sn.Addrs[1] {
+		t.Fatalf("tampered leg returned %v, want RemoteError naming %q", err, sn.Addrs[1])
+	}
+	if !errors.Is(err, transport.ErrAuth) {
+		t.Fatalf("tampered leg returned %v, want an ErrAuth-classified abort", err)
+	}
+
+	armed.Store(false)
+	if err := runRound(t, sn, 3); err != nil {
+		t.Fatalf("round after tamper stopped: %v", err)
+	}
+}
+
 // TestShardNetClosesClean: a shard net with active connections shuts down
 // without leaking goroutines — the LeakCheck is the assertion.
 func TestShardNetClosesClean(t *testing.T) {
@@ -376,5 +654,22 @@ func TestMeasureShardNetRound(t *testing.T) {
 	}
 	if pt.Users != 8 || pt.Latency <= 0 {
 		t.Fatalf("bad point: %+v", pt)
+	}
+}
+
+// TestMeasureDegradedShardNetRound exercises the degraded-round bench
+// entry point: the round completes with exactly the killed shards
+// degraded.
+func TestMeasureDegradedShardNetRound(t *testing.T) {
+	defer LeakCheck(t)()
+	pt, degraded, err := MeasureDegradedShardNetRound(8, 2, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Users != 8 || pt.Latency <= 0 {
+		t.Fatalf("bad point: %+v", pt)
+	}
+	if degraded != 1 {
+		t.Fatalf("%d shards degraded, want 1", degraded)
 	}
 }

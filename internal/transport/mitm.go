@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+)
+
+// Direction identifies one flow of an intercepted connection.
+type Direction int
+
+// Interception directions.
+const (
+	// ClientToServer is traffic written by the dialing side.
+	ClientToServer Direction = iota
+	// ServerToClient is traffic read by the dialing side.
+	ServerToClient
+)
+
+func (d Direction) String() string {
+	if d == ClientToServer {
+		return "client→server"
+	}
+	return "server→client"
+}
+
+// RecordRewriter is an active attacker's hook: it receives every
+// length-prefixed record (payload only, prefix stripped) crossing an
+// intercepted connection, in stream order with a per-direction index,
+// and returns the payloads to forward in its place. Return the input
+// unchanged to pass through, a mutated copy to tamper, {rec, rec} to
+// replay, nil to hold a record back (and re-emit it later for a swap).
+// One rewriter serves both directions of a connection and is never
+// invoked concurrently, so closures can keep plain state.
+type RecordRewriter func(dir Direction, index int, record []byte) [][]byte
+
+// MITM wraps a Network with a record-level man-in-the-middle on the
+// dialing side — the active network attacker of the paper's threat model
+// (§2.2), pointed at the router↔shard leg. It understands exactly the
+// length-prefixed framing transport.Secure (and the MITM suite's
+// plaintext baselines) put on the wire, so tests can tamper with one
+// byte of a chosen record, replay a record, or swap two — and assert the
+// secured channel rejects each. Like Faulty, no production code path
+// constructs one.
+type MITM struct {
+	inner Network
+
+	mu   sync.Mutex
+	taps map[string]RecordRewriter
+}
+
+// NewMITM wraps inner; all addresses start un-intercepted.
+func NewMITM(inner Network) *MITM {
+	return &MITM{inner: inner, taps: make(map[string]RecordRewriter)}
+}
+
+// Intercept installs fn on all future dials to addr; nil removes the
+// tap. Existing connections keep the rewriter they were dialed with.
+func (m *MITM) Intercept(addr string, fn RecordRewriter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fn == nil {
+		delete(m.taps, addr)
+		return
+	}
+	m.taps[addr] = fn
+}
+
+// Listen implements Network.
+func (m *MITM) Listen(addr string) (net.Listener, error) { return m.inner.Listen(addr) }
+
+// Dial implements Network.
+func (m *MITM) Dial(addr string) (net.Conn, error) {
+	m.mu.Lock()
+	fn := m.taps[addr]
+	m.mu.Unlock()
+	conn, err := m.inner.Dial(addr)
+	if err != nil || fn == nil {
+		return conn, err
+	}
+	return &mitmConn{Conn: conn, fn: fn}, nil
+}
+
+// recordStream reassembles one direction's length-prefixed records from
+// an arbitrary byte stream.
+type recordStream struct {
+	buf []byte
+	idx int
+}
+
+// mitmConn applies the rewriter to both directions of a dialed
+// connection. Reads and writes may run on separate goroutines (the
+// wire.Conn contract), so each direction has its own parser state and
+// the rewriter itself is serialized.
+type mitmConn struct {
+	net.Conn
+	fn   RecordRewriter
+	fnMu sync.Mutex
+
+	wr recordStream // client→server, fed by Write
+	rd recordStream // server→client, fed by Read
+	// rdOut is rewritten server→client bytes awaiting delivery.
+	rdOut []byte
+}
+
+// process feeds raw bytes into one direction's parser and returns the
+// re-framed bytes to forward after rewriting. Incomplete records stay
+// buffered until more bytes arrive.
+func (c *mitmConn) process(st *recordStream, dir Direction, data []byte) []byte {
+	st.buf = append(st.buf, data...)
+	var out []byte
+	for {
+		if len(st.buf) < 4 {
+			return out
+		}
+		n := binary.BigEndian.Uint32(st.buf[:4])
+		if uint64(len(st.buf)-4) < uint64(n) {
+			return out
+		}
+		rec := append([]byte(nil), st.buf[4:4+n]...)
+		st.buf = st.buf[4+n:]
+		c.fnMu.Lock()
+		repl := c.fn(dir, st.idx, rec)
+		c.fnMu.Unlock()
+		st.idx++
+		for _, r := range repl {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(len(r)))
+			out = append(out, hdr[:]...)
+			out = append(out, r...)
+		}
+	}
+}
+
+func (c *mitmConn) Write(p []byte) (int, error) {
+	out := c.process(&c.wr, ClientToServer, p)
+	if len(out) > 0 {
+		if _, err := c.Conn.Write(out); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (c *mitmConn) Read(p []byte) (int, error) {
+	for {
+		if len(c.rdOut) > 0 {
+			n := copy(p, c.rdOut)
+			c.rdOut = c.rdOut[n:]
+			return n, nil
+		}
+		buf := make([]byte, 32*1024)
+		n, err := c.Conn.Read(buf)
+		if n > 0 {
+			c.rdOut = append(c.rdOut, c.process(&c.rd, ServerToClient, buf[:n])...)
+		}
+		if err != nil {
+			if len(c.rdOut) > 0 {
+				continue
+			}
+			return 0, err
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"vuvuzela/internal/crypto/box"
+)
+
+// mitmResult is what the secured server observed: every plaintext byte
+// delivered before the stream ended, and the terminal error.
+type mitmResult struct {
+	plaintext []byte
+	err       error
+}
+
+// mitmHarness stands up a Secure server on a Mem listener and a Secure
+// client dialing through a MITM with the given rewriter. It returns the
+// client channel and the server's observation channel.
+func mitmHarness(t *testing.T, fn RecordRewriter) (*Secure, chan mitmResult) {
+	t.Helper()
+	cPub, cPriv := box.KeyPairFromSeed([]byte("mitm-client"))
+	sPub, sPriv := box.KeyPairFromSeed([]byte("mitm-server"))
+
+	mem := NewMem()
+	l, err := mem.Listen("shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+
+	results := make(chan mitmResult, 1)
+	go func() {
+		raw, err := l.Accept()
+		if err != nil {
+			results <- mitmResult{err: err}
+			return
+		}
+		defer raw.Close()
+		server := SecureServer(raw, sPriv, []box.PublicKey{cPub})
+		var got []byte
+		buf := make([]byte, 4096)
+		for {
+			n, err := server.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				results <- mitmResult{plaintext: got, err: err}
+				return
+			}
+		}
+	}()
+
+	mitm := NewMITM(mem)
+	if fn != nil {
+		mitm.Intercept("shard", fn)
+	}
+	raw, err := mitm.Dial("shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+	// Bound every client operation so a test failure cannot wedge the
+	// synchronous pipe forever.
+	raw.SetDeadline(time.Now().Add(5 * time.Second))
+	return SecureClient(raw, cPriv, sPub), results
+}
+
+// TestMITMPassthrough: an identity rewriter leaves the channel fully
+// functional — the harness itself does not break anything.
+func TestMITMPassthrough(t *testing.T) {
+	client, results := mitmHarness(t, func(dir Direction, index int, rec []byte) [][]byte {
+		return [][]byte{rec}
+	})
+	payload := []byte("the quick brown onion")
+	if _, err := client.Write(payload); err != nil {
+		t.Fatalf("write through identity mitm: %v", err)
+	}
+	client.Close()
+	res := <-results
+	if !errors.Is(res.err, io.EOF) {
+		t.Fatalf("server ended with %v, want EOF", res.err)
+	}
+	if !bytes.Equal(res.plaintext, payload) {
+		t.Fatalf("server got %q, want %q", res.plaintext, payload)
+	}
+}
+
+// TestMITMTamperOneByteRejected: flipping a single byte of the first
+// data record is detected — the server rejects the record with ErrAuth
+// and never delivers any corrupted plaintext.
+func TestMITMTamperOneByteRejected(t *testing.T) {
+	// Client→server record 0 is the handshake hello; record 1 is the
+	// first data record.
+	client, results := mitmHarness(t, func(dir Direction, index int, rec []byte) [][]byte {
+		if dir == ClientToServer && index == 1 {
+			rec[len(rec)/2] ^= 0x01
+		}
+		return [][]byte{rec}
+	})
+	client.Write([]byte("do not touch this message"))
+	res := <-results
+	if !errors.Is(res.err, ErrAuth) {
+		t.Fatalf("tampered record: server ended with %v, want ErrAuth", res.err)
+	}
+	if len(res.plaintext) != 0 {
+		t.Fatalf("server delivered %q from a tampered stream", res.plaintext)
+	}
+}
+
+// TestMITMTamperedHandshakeRejected: one flipped byte in the handshake
+// hello aborts the handshake itself with ErrAuth.
+func TestMITMTamperedHandshakeRejected(t *testing.T) {
+	client, results := mitmHarness(t, func(dir Direction, index int, rec []byte) [][]byte {
+		if dir == ClientToServer && index == 0 {
+			rec[len(rec)-1] ^= 0x80
+		}
+		return [][]byte{rec}
+	})
+	client.Write([]byte("never arrives"))
+	res := <-results
+	if !errors.Is(res.err, ErrAuth) {
+		t.Fatalf("tampered handshake: server ended with %v, want ErrAuth", res.err)
+	}
+	if len(res.plaintext) != 0 {
+		t.Fatalf("server delivered %q after a tampered handshake", res.plaintext)
+	}
+}
+
+// TestMITMReplayRejected: duplicating a data record delivers the first
+// copy and rejects the replay — the nonce counter has moved on.
+func TestMITMReplayRejected(t *testing.T) {
+	client, results := mitmHarness(t, func(dir Direction, index int, rec []byte) [][]byte {
+		if dir == ClientToServer && index == 1 {
+			return [][]byte{rec, rec}
+		}
+		return [][]byte{rec}
+	})
+	payload := []byte("once only")
+	client.Write(payload)
+	res := <-results
+	if !errors.Is(res.err, ErrAuth) {
+		t.Fatalf("replayed record: server ended with %v, want ErrAuth", res.err)
+	}
+	if !bytes.Equal(res.plaintext, payload) {
+		t.Fatalf("server got %q before the replay, want %q", res.plaintext, payload)
+	}
+}
+
+// TestMITMSwapRejected: reordering two data records fails authentication
+// on the first out-of-order record; nothing from the swapped stream is
+// delivered.
+func TestMITMSwapRejected(t *testing.T) {
+	var held []byte
+	client, results := mitmHarness(t, func(dir Direction, index int, rec []byte) [][]byte {
+		if dir == ClientToServer && index == 1 {
+			held = rec
+			return nil
+		}
+		if dir == ClientToServer && index == 2 {
+			return [][]byte{rec, held}
+		}
+		return [][]byte{rec}
+	})
+	go func() {
+		client.Write([]byte("first"))
+		client.Write([]byte("second"))
+	}()
+	res := <-results
+	if !errors.Is(res.err, ErrAuth) {
+		t.Fatalf("swapped records: server ended with %v, want ErrAuth", res.err)
+	}
+	if len(res.plaintext) != 0 {
+		t.Fatalf("server delivered %q from a reordered stream", res.plaintext)
+	}
+}
+
+// TestMITMServerToClientTamperRejected: the reply direction is protected
+// by its own nonce counter — a tampered server→client record fails on
+// the client with ErrAuth.
+func TestMITMServerToClientTamperRejected(t *testing.T) {
+	cPub, cPriv := box.KeyPairFromSeed([]byte("mitm-client"))
+	sPub, sPriv := box.KeyPairFromSeed([]byte("mitm-server"))
+	mem := NewMem()
+	l, err := mem.Listen("shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		raw, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer raw.Close()
+		server := SecureServer(raw, sPriv, []box.PublicKey{cPub})
+		buf := make([]byte, 64)
+		if _, err := server.Read(buf); err != nil {
+			return
+		}
+		server.Write([]byte("reply"))
+	}()
+
+	mitm := NewMITM(mem)
+	// Server→client record 0 is the handshake response; record 1 is the
+	// data reply.
+	mitm.Intercept("shard", func(dir Direction, index int, rec []byte) [][]byte {
+		if dir == ServerToClient && index == 1 {
+			rec[0] ^= 0xff
+		}
+		return [][]byte{rec}
+	})
+	raw, err := mitm.Dial("shard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetDeadline(time.Now().Add(5 * time.Second))
+	client := SecureClient(raw, cPriv, sPub)
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Read(make([]byte, 64))
+	if !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered reply: client got %v, want ErrAuth", err)
+	}
+}

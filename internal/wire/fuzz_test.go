@@ -1,9 +1,17 @@
 package wire
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"math/rand"
+	"net"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/transport"
 )
 
 // TestDecodeNeverPanics feeds random byte strings into Decode: it must
@@ -190,4 +198,207 @@ func TestShardReplyDuplicateRejected(t *testing.T) {
 	if err := CheckShardRound(nil, 0, 1); err == nil {
 		t.Fatal("nil message accepted as shard round")
 	}
+}
+
+// ---- Fuzz targets for the authenticated shard-leg transport ----
+//
+// The shard fan-out frames of this package travel inside
+// transport.Secure; these targets fuzz that channel's two parsing
+// surfaces — the handshake and the encrypted record framing — with
+// attacker-controlled bytes. Run as plain unit tests they exercise the
+// seed corpus; CI additionally runs each under `go test -fuzz` for a
+// short smoke (see Makefile `fuzz` target).
+
+// fuzzKeys returns the fixed identities the fuzz harnesses use.
+func fuzzKeys() (cPub box.PublicKey, cPriv box.PrivateKey, sPub box.PublicKey, sPriv box.PrivateKey) {
+	cPub, cPriv = box.KeyPairFromSeed([]byte("fuzz-client"))
+	sPub, sPriv = box.KeyPairFromSeed([]byte("fuzz-server"))
+	return
+}
+
+// FuzzSecureHandshakeServer throws arbitrary bytes at the accepting side
+// of the handshake: without the client's private key no input FORGES a
+// hello (truncated hellos, resized frames, wrong-key ciphertext all land
+// here), and the server must neither panic nor complete. One caveat: a
+// byte-exact REPLAY of a genuine hello does satisfy the server's checks
+// (the replayer still never learns the session key) — in this harness it
+// fails anyway because the peer never drains the handshake response, and
+// at the system level the shard server keeps its connection deadline
+// until the first authenticated frame, so a replayed hello cannot pin a
+// goroutine (see mixnet.TestShardHandshakeReplayCannotPinGoroutine).
+func FuzzSecureHandshakeServer(f *testing.F) {
+	cPub, cPriv, sPub, sPriv := fuzzKeys()
+	// Seed with a genuine hello so mutations explore near-valid space.
+	// The hello frame is 4 (length) + 113 (payload) bytes.
+	cc, sc := net.Pipe()
+	go func() {
+		transport.SecureClient(cc, cPriv, sPub).Handshake()
+		cc.Close()
+	}()
+	var hello bytes.Buffer
+	sc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	io.Copy(&hello, io.LimitReader(sc, 117))
+	sc.Close()
+	f.Add(hello.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 42})
+	f.Add(bytes.Repeat([]byte{0xff}, 121))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cc, sc := net.Pipe()
+		defer cc.Close()
+		defer sc.Close()
+		sc.SetDeadline(time.Now().Add(200 * time.Millisecond))
+		go func() {
+			cc.Write(data)
+			cc.Close()
+		}()
+		server := transport.SecureServer(sc, sPriv, []box.PublicKey{cPub})
+		if err := server.Handshake(); err == nil {
+			t.Fatalf("handshake completed from %d attacker bytes", len(data))
+		}
+	})
+}
+
+// FuzzSecureHandshakeClient throws arbitrary bytes at the dialing side's
+// response parser: an attacker impersonating a shard cannot complete the
+// handshake without the shard's private key.
+func FuzzSecureHandshakeClient(f *testing.F) {
+	_, cPriv, sPub, sPriv := fuzzKeys()
+	_ = sPriv
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 112})
+	f.Add(bytes.Repeat([]byte{0xa5}, 116))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cc, sc := net.Pipe()
+		defer cc.Close()
+		defer sc.Close()
+		cc.SetDeadline(time.Now().Add(200 * time.Millisecond))
+		go func() {
+			// Drain the hello, answer with fuzz.
+			buf := make([]byte, 256)
+			sc.Read(buf)
+			sc.Write(data)
+			sc.Close()
+		}()
+		client := transport.SecureClient(cc, cPriv, sPub)
+		if err := client.Handshake(); err == nil {
+			t.Fatalf("client completed a handshake against %d forged bytes", len(data))
+		}
+	})
+}
+
+// FuzzSecureRecordTamper establishes a real authenticated channel and
+// lets the fuzzer mutate the encrypted record stream through a MITM:
+// flip a byte, replay, swap, drop, or truncate at a fuzzer-chosen point.
+// The receiving side must deliver at most a prefix of the original
+// plaintext, in order, and classify any effective mutation as ErrAuth —
+// never panic, never deliver corrupted bytes. Corrupted-nonce-counter
+// cases are exactly the replay/swap/drop mutations: the counter is
+// implicit, so any reordering decrypts under the wrong nonce.
+func FuzzSecureRecordTamper(f *testing.F) {
+	cPub, cPriv, sPub, sPriv := fuzzKeys()
+	f.Add([]byte("hello shard"), uint8(0), uint16(1), uint8(1))
+	f.Add(bytes.Repeat([]byte{7}, 300), uint8(1), uint16(1), uint8(0))
+	f.Add([]byte("swap me"), uint8(2), uint16(1), uint8(0))
+	f.Add([]byte("drop me"), uint8(3), uint16(2), uint8(0))
+	f.Add([]byte("cut me"), uint8(4), uint16(1), uint8(3))
+
+	f.Fuzz(func(t *testing.T, payload []byte, op uint8, recIdx uint16, arg uint8) {
+		if len(payload) == 0 || len(payload) > 4096 {
+			return
+		}
+		mem := transport.NewMem()
+		l, err := mem.Listen("shard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+
+		type result struct {
+			got []byte
+			err error
+		}
+		results := make(chan result, 1)
+		go func() {
+			raw, err := l.Accept()
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer raw.Close()
+			raw.SetDeadline(time.Now().Add(700 * time.Millisecond))
+			server := transport.SecureServer(raw, sPriv, []box.PublicKey{cPub})
+			var got []byte
+			buf := make([]byte, 4096)
+			for {
+				n, err := server.Read(buf)
+				got = append(got, buf[:n]...)
+				if err != nil {
+					results <- result{got: got, err: err}
+					return
+				}
+			}
+		}()
+
+		mutated := false
+		var heldRec []byte
+		mitm := transport.NewMITM(mem)
+		mitm.Intercept("shard", func(dir transport.Direction, index int, rec []byte) [][]byte {
+			if dir != transport.ClientToServer {
+				return [][]byte{rec}
+			}
+			if index == int(recIdx) {
+				mutated = true
+				switch op % 5 {
+				case 0: // flip one byte
+					rec[int(arg)%len(rec)] ^= 1 | arg
+					return [][]byte{rec}
+				case 1: // replay
+					return [][]byte{rec, rec}
+				case 2: // swap with the next record
+					heldRec = rec
+					return nil
+				case 3: // drop
+					return nil
+				default: // truncate
+					return [][]byte{rec[:int(arg)%len(rec)]}
+				}
+			}
+			if heldRec != nil {
+				out := [][]byte{rec, heldRec}
+				heldRec = nil
+				return out
+			}
+			return [][]byte{rec}
+		})
+
+		raw, err := mitm.Dial("shard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer raw.Close()
+		raw.SetDeadline(time.Now().Add(700 * time.Millisecond))
+		client := transport.SecureClient(raw, cPriv, sPub)
+		// Two writes so swap/drop targets have a successor record;
+		// record 0 is the handshake hello, data records are 1 and 2.
+		half := len(payload) / 2
+		client.Write(payload[:half])
+		client.Write(payload[half:])
+		client.Close()
+
+		res := <-results
+		if !bytes.HasPrefix(payload, res.got) {
+			t.Fatalf("op=%d idx=%d: server got %q, not a prefix of %q", op%5, recIdx, res.got, payload)
+		}
+		if mutated && len(res.got) == len(payload) && op%5 != 2 && op%5 != 3 {
+			// A tamper/replay/truncate that touched a real record must
+			// not end with the full payload delivered and a clean EOF.
+			if res.err == nil || errors.Is(res.err, io.EOF) {
+				t.Fatalf("op=%d idx=%d: mutated stream delivered everything cleanly", op%5, recIdx)
+			}
+		}
+	})
 }
