@@ -3,12 +3,19 @@
 
 GO ?= go
 
-.PHONY: check vet build test race shardtest fuzz bench clean
+.PHONY: check vet lint doclint build test race shardtest fuzz bench example-smoke clean
 
-check: vet build race shardtest fuzz
+check: lint build race shardtest fuzz
 
 vet:
 	$(GO) vet ./...
+
+# Static checks: go vet plus the godoc-coverage linter over the packages
+# whose exported surface the docs/ specs attach to.
+lint: vet doclint
+
+doclint:
+	$(GO) run ./cmd/doclint ./internal/transport ./internal/mixnet ./internal/wire ./internal/roundstate
 
 build:
 	$(GO) build ./...
@@ -31,6 +38,11 @@ fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureHandshakeServer$$' -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureHandshakeClient$$' -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureRecordTamper$$' -fuzztime 10s
+
+# Boots the examples/chain deployment (3 servers + 2 shards + entry, all
+# real processes on loopback TCP) and exchanges a message through it.
+example-smoke:
+	./examples/chain/smoke.sh
 
 # Short benchmark pass over the scalability-critical paths.
 bench:

@@ -15,6 +15,7 @@ import (
 
 	"vuvuzela/internal/config"
 	"vuvuzela/internal/coordinator"
+	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/transport"
 	"vuvuzela/internal/wire"
 )
@@ -24,6 +25,7 @@ func main() {
 	convoEvery := flag.Duration("convo-interval", 10*time.Second, "conversation round interval")
 	dialEvery := flag.Duration("dial-interval", time.Minute, "dialing round interval (paper uses 10m in production)")
 	submitTimeout := flag.Duration("submit-timeout", 5*time.Second, "how long to wait for client submissions")
+	convoWindow := flag.Int("convo-window", 1, "conversation rounds kept in flight at once (pipelined timer mode; 1 = serial)")
 	flag.Parse()
 
 	chain, err := config.LoadChain(*chainPath)
@@ -33,10 +35,12 @@ func main() {
 	co, err := coordinator.New(coordinator.Config{
 		Net:           transport.TCP{},
 		ChainAddr:     chain.Servers[0].Addr,
+		ChainPub:      box.PublicKey(chain.Servers[0].PublicKey),
 		DialBuckets:   chain.DialBuckets,
 		SubmitTimeout: *submitTimeout,
 		ConvoInterval: *convoEvery,
 		DialInterval:  *dialEvery,
+		ConvoWindow:   *convoWindow,
 		OnRoundError: func(proto wire.Proto, round uint64, err error) {
 			// Round failures are transient (the next tick retries with a
 			// fresh round), but a persistent cause — unreachable chain,

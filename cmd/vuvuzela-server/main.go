@@ -24,6 +24,7 @@ import (
 	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/mixnet"
 	"vuvuzela/internal/noise"
+	"vuvuzela/internal/roundstate"
 	"vuvuzela/internal/transport"
 )
 
@@ -37,6 +38,7 @@ func main() {
 	shards := flag.Int("shards", 0, "in-process dead-drop sub-tables (0 or 1 = one sequential table); applies to the last server, or within each shard server")
 	shardTimeout := flag.Duration("shard-timeout", time.Minute, "per-round RPC timeout to each shard server (last server only; 0 = wait forever)")
 	shardPolicy := flag.String("shard-policy", "abort", `"abort" fails the round on any shard failure; "degrade" zero-fills an unreachable shard's replies and completes the round (authentication failures still abort; zero-filled replies are observable round metadata — see README)`)
+	roundState := flag.String("round-state", "", `shard mode: file durably recording the last-committed round, so a restarted shard rejoins without replaying consumed rounds (empty = in-memory only; strongly recommended in production — see docs/THREAT_MODEL.md)`)
 	flag.Parse()
 	if *keyPath == "" {
 		flag.Usage()
@@ -66,7 +68,7 @@ func main() {
 	case "chain":
 		runChain(chain, key, *fixedNoise, *workers, *shards, *shardTimeout, policy)
 	case "shard":
-		runShard(chain, key, *shardIndex, *workers, *shards)
+		runShard(chain, key, *shardIndex, *workers, *shards, *roundState)
 	default:
 		log.Fatalf("unknown -mode %q (want chain or shard)", *mode)
 	}
@@ -161,7 +163,7 @@ func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, worke
 	}
 }
 
-func runShard(chain *config.Chain, key *config.ServerKey, index, workers, subshards int) {
+func runShard(chain *config.Chain, key *config.ServerKey, index, workers, subshards int, statePath string) {
 	if len(chain.Shards) == 0 {
 		log.Fatal("chain config lists no shard servers; generate one with vuvuzela-keygen chain -shards N")
 	}
@@ -177,14 +179,25 @@ func runShard(chain *config.Chain, key *config.ServerKey, index, workers, subsha
 	// Only the last chain server — the shard router — may drive rounds
 	// on this shard; its key comes from the same descriptor clients use.
 	routerKey := box.PublicKey(chain.Servers[len(chain.Servers)-1].PublicKey)
-	ss, err := mixnet.NewShardServer(mixnet.ShardConfig{
+	cfg := mixnet.ShardConfig{
 		Index:      index,
 		NumShards:  len(chain.Shards),
 		Subshards:  subshards,
 		Workers:    workers,
 		Identity:   priv,
 		Authorized: []box.PublicKey{routerKey},
-	})
+	}
+	if statePath != "" {
+		store, err := roundstate.Open(statePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.RoundState = store
+		log.Printf("round state in %s (resuming after round %d)", statePath, store.Last())
+	} else {
+		log.Printf("WARNING: no -round-state file; a restart of this shard resets its replay protection")
+	}
+	ss, err := mixnet.NewShardServer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

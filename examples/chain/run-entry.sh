@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs the entry server of the examples/chain deployment with fast round
+# timers (the paper uses sub-minute conversation rounds and 10-minute
+# dialing rounds in production) and a pipelined conversation window.
+set -euo pipefail
+cd "$(dirname "$0")"
+exec "${OUT:-deploy}/bin/vuvuzela-entry" \
+    -chain "${OUT:-deploy}/chain.json" \
+    -convo-interval "${CONVO_INTERVAL:-1s}" \
+    -dial-interval "${DIAL_INTERVAL:-2s}" \
+    -submit-timeout "${SUBMIT_TIMEOUT:-800ms}" \
+    -convo-window 2

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs chain server $1 of the examples/chain deployment (0-based; the
+# highest position is the last server, which routes the dead-drop
+# exchange to the shard servers and hosts the invitation CDN).
+set -euo pipefail
+cd "$(dirname "$0")"
+i=${1:?usage: run-server.sh INDEX}
+exec "${OUT:-deploy}/bin/vuvuzela-server" \
+    -chain "${OUT:-deploy}/chain.json" \
+    -key "${OUT:-deploy}/server-$i.key" \
+    -fixed-noise

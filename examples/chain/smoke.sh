@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# CI smoke for the examples/chain deployment (`make example-smoke`):
+# builds the real binaries, generates a fresh 3-server + 2-shard config
+# on ephemeral loopback ports, boots every process, and runs the smoke
+# driver, which dials one user from the other and exchanges a message
+# each way over the fully authenticated chain. Exits non-zero if any
+# process dies or the messages do not arrive.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$WORK/bin/" ./cmd/vuvuzela-keygen ./cmd/vuvuzela-server ./cmd/vuvuzela-entry
+go build -o "$WORK/bin/smoke" ./examples/chain/smoke
+
+# A port block derived from the PID keeps parallel CI jobs from
+# colliding; the deployment needs base-1 .. base+6. Staying below 32768
+# keeps the block out of the kernel's ephemeral port range, where a
+# transient outbound connection could already hold a port.
+BASE_PORT=$(( 10000 + ($$ % 2000) * 10 + 1 ))
+echo "== generating config (base port $BASE_PORT)"
+"$WORK/bin/vuvuzela-keygen" chain -servers 3 -shards 2 -out "$WORK/deploy" \
+    -base-port "$BASE_PORT" -mu 20 -b 5 -dial-mu 5 -dial-b 2
+"$WORK/bin/vuvuzela-keygen" user -name alice -out "$WORK/deploy"
+"$WORK/bin/vuvuzela-keygen" user -name bob -out "$WORK/deploy"
+
+echo "== starting shards, servers, entry"
+for i in 0 1; do
+    "$WORK/bin/vuvuzela-server" -chain "$WORK/deploy/chain.json" \
+        -key "$WORK/deploy/shard-$i.key" -mode shard \
+        -round-state "$WORK/deploy/shard-$i.rounds" >"$WORK/shard-$i.log" 2>&1 &
+    PIDS+=($!)
+done
+for i in 2 1 0; do
+    "$WORK/bin/vuvuzela-server" -chain "$WORK/deploy/chain.json" \
+        -key "$WORK/deploy/server-$i.key" -fixed-noise >"$WORK/server-$i.log" 2>&1 &
+    PIDS+=($!)
+done
+"$WORK/bin/vuvuzela-entry" -chain "$WORK/deploy/chain.json" \
+    -convo-interval 400ms -dial-interval 1s -submit-timeout 300ms \
+    -convo-window 2 >"$WORK/entry.log" 2>&1 &
+PIDS+=($!)
+
+sleep 1
+for pid in "${PIDS[@]}"; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "== a process died during startup; logs:"
+        tail -n 20 "$WORK"/*.log
+        exit 1
+    fi
+done
+
+echo "== running smoke driver"
+if ! "$WORK/bin/smoke" -chain "$WORK/deploy/chain.json" \
+    -alice "$WORK/deploy/alice.key" -bob "$WORK/deploy/bob.key" -timeout 90s; then
+    echo "== smoke failed; process logs:"
+    tail -n 30 "$WORK"/*.log
+    exit 1
+fi
+echo "== example smoke passed"

@@ -83,6 +83,7 @@ func newTCPDeployment(t *testing.T, servers int) *tcpDeployment {
 	co, err := coordinator.New(coordinator.Config{
 		Net:           tcp,
 		ChainAddr:     addrs[0],
+		ChainPub:      pubs[0],
 		DialBuckets:   2,
 		SubmitTimeout: 2 * time.Second,
 	})

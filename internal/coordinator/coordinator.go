@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/dial"
 	"vuvuzela/internal/mixnet"
 	"vuvuzela/internal/transport"
@@ -26,11 +27,24 @@ import (
 
 // Config describes the entry server.
 type Config struct {
-	// Exactly one of ChainAddr+Net (networked server 0) or ChainLocal
-	// (in-process chain head) must be set.
+	// Exactly one of ChainAddr+Net+ChainPub (networked server 0) or
+	// ChainLocal (in-process chain head) must be set.
 	Net        transport.Network
 	ChainAddr  string
 	ChainLocal *mixnet.Server
+
+	// ChainPub is the first chain server's long-term public key from the
+	// chain descriptor. Required whenever ChainAddr is set: the entry leg
+	// always runs inside transport.Secure, with the coordinator
+	// authenticating the server's key — a misdirected or intercepted dial
+	// fails the handshake instead of handing the batch to an impostor
+	// (docs/THREAT_MODEL.md).
+	ChainPub box.PublicKey
+	// Identity is the coordinator's own key for the entry leg. The chain
+	// does not authorize specific entry keys (the entry server is
+	// untrusted, §7), so this may be left zero and New generates a fresh
+	// one per process.
+	Identity box.PrivateKey
 
 	// DialBuckets is the number of invitation dead drops (m) announced
 	// for each dialing round (§5.4). Defaults to 1, the optimum at small
@@ -193,6 +207,21 @@ func (rs *roundState) add(cc *clientConn, onions [][]byte) {
 func New(cfg Config) (*Coordinator, error) {
 	if cfg.ChainLocal == nil && (cfg.ChainAddr == "" || cfg.Net == nil) {
 		return nil, errors.New("coordinator: no chain configured")
+	}
+	if cfg.ChainLocal == nil {
+		if cfg.ChainPub == (box.PublicKey{}) {
+			return nil, errors.New("coordinator: networked chain needs the first server's public key (Config.ChainPub)")
+		}
+		if cfg.Identity == (box.PrivateKey{}) {
+			// The chain accepts any client key on the entry leg; a fresh
+			// per-process identity keeps the channel keyed without any
+			// registration step.
+			_, priv, err := box.GenerateKey(nil)
+			if err != nil {
+				return nil, fmt.Errorf("coordinator: generating entry identity: %w", err)
+			}
+			cfg.Identity = priv
+		}
 	}
 	if cfg.DialBuckets == 0 {
 		cfg.DialBuckets = 1
@@ -369,62 +398,29 @@ func (co *Coordinator) RunConvoRounds(ctx context.Context, n int) ([]int, error)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	type chained struct {
-		cr      *convoRound
-		replies [][]byte
-	}
-	var (
-		// inflight bounds rounds announced but not yet delivered; slots
-		// are taken before announcing and released after fanout.
-		inflight  = make(chan struct{}, window)
-		collected = make(chan *convoRound, window)
-		delivered = make(chan chained, window)
-		errCh     = make(chan error, 2)
-	)
-
-	go func() {
-		defer close(collected)
-		for i := 0; i < n; i++ {
-			select {
-			case inflight <- struct{}{}:
-			case <-ctx.Done():
-				return
-			}
-			cr, err := co.collectConvo(ctx)
-			if err != nil {
-				// No cancel(): rounds already sitting in `collected`
-				// gathered real client submissions and must still be
-				// forwarded and fanned out.
-				errCh <- err
-				return
-			}
-			collected <- cr
-		}
-	}()
-
-	go func() {
-		// A single goroutine forwards rounds in collection order, so the
-		// chain's strictly-increasing round check stays satisfied.
-		defer close(delivered)
-		for cr := range collected {
-			if ctx.Err() != nil {
-				return
-			}
-			replies, err := co.chainConvo(cr)
-			if err != nil {
-				errCh <- err
-				cancel()
-				return
-			}
-			delivered <- chained{cr, replies}
-		}
-	}()
-
-	for d := range delivered {
-		co.fanoutConvo(d.cr, d.replies)
-		participants = append(participants, len(d.cr.clients))
-		<-inflight
-	}
+	errCh := make(chan error, 2)
+	i := 0
+	co.runConvoPipeline(ctx, window, convoStageHooks{
+		// next runs on the collector goroutine; i is touched nowhere else.
+		next: func() bool { i++; return i <= n },
+		onCollectErr: func(_ uint64, err error) bool {
+			// Stop announcing, but no cancel(): rounds already collected
+			// gathered real client submissions and must still be
+			// forwarded and fanned out.
+			errCh <- err
+			return false
+		},
+		onChainErr: func(_ uint64, err error) bool {
+			errCh <- err
+			cancel()
+			return false
+		},
+		// onDelivered runs on the goroutine runConvoPipeline blocks, so
+		// the append is race-free.
+		onDelivered: func(cr *convoRound) {
+			participants = append(participants, len(cr.clients))
+		},
+	})
 	select {
 	case err := <-errCh:
 		return participants, err
@@ -437,6 +433,97 @@ func (co *Coordinator) RunConvoRounds(ctx context.Context, n int) ([]int, error)
 		return participants, ctx.Err()
 	}
 	return participants, nil
+}
+
+// convoStageHooks parameterizes runConvoPipeline for its two callers:
+// RunConvoRounds (bounded round count, abort on failure) and timer
+// mode's convoPipeline (ticker-paced, report failures and keep going).
+type convoStageHooks struct {
+	// next blocks until another round should be announced; false stops
+	// announcing (already-collected rounds still drain). Runs on the
+	// collector goroutine.
+	next func() bool
+	// onCollectErr receives a collection failure; false stops
+	// announcing. Collection fails only on context cancellation or
+	// coordinator close.
+	onCollectErr func(round uint64, err error) bool
+	// onChainErr receives a chain failure; false aborts the chain stage
+	// (rounds already delivered still fan out), true skips the round
+	// and keeps forwarding later ones.
+	onChainErr func(round uint64, err error) bool
+	// onDelivered observes each round after its replies fanned out; may
+	// be nil. Runs on the caller's goroutine.
+	onDelivered func(cr *convoRound)
+}
+
+// runConvoPipeline is the shared three-stage conversation pipeline:
+// collect → chain → fanout, with at most `window` rounds in flight
+// (slots are taken before announcing and released after fanout). The
+// chain stage is a single goroutine forwarding rounds in collection
+// order, so the mixnet's strictly-increasing round check stays
+// satisfied. Blocks until every stage has drained.
+func (co *Coordinator) runConvoPipeline(ctx context.Context, window int, h convoStageHooks) {
+	type chained struct {
+		cr      *convoRound
+		replies [][]byte
+	}
+	var (
+		inflight  = make(chan struct{}, window)
+		collected = make(chan *convoRound, window)
+		delivered = make(chan chained, window)
+	)
+
+	go func() {
+		defer close(collected)
+		for h.next() {
+			// No closeCh case here: a coordinator Close must surface as
+			// collectConvo's error (via onCollectErr) rather than
+			// stopping the collector silently — RunConvoRounds' callers
+			// are owed that error. Slots always free because the fanout
+			// stage keeps draining.
+			select {
+			case inflight <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			cr, err := co.collectConvo(ctx)
+			if err != nil {
+				stop := !h.onCollectErr(cr.round, err)
+				<-inflight
+				if stop {
+					return
+				}
+				continue
+			}
+			collected <- cr
+		}
+	}()
+
+	go func() {
+		defer close(delivered)
+		for cr := range collected {
+			if ctx.Err() != nil {
+				return
+			}
+			replies, err := co.chainConvo(cr)
+			if err != nil {
+				if !h.onChainErr(cr.round, err) {
+					return
+				}
+				<-inflight
+				continue
+			}
+			delivered <- chained{cr, replies}
+		}
+	}()
+
+	for d := range delivered {
+		co.fanoutConvo(d.cr, d.replies)
+		if h.onDelivered != nil {
+			h.onDelivered(d.cr)
+		}
+		<-inflight
+	}
 }
 
 // RunDialRound executes one dialing round: announce (with the bucket
@@ -571,6 +658,10 @@ func (co *Coordinator) chainRPC(proto wire.Proto, round uint64, m uint32, batch 
 	}
 }
 
+// chainConn returns the chain-head connection for proto, dialing lazily.
+// The entry leg always runs inside transport.Secure: the coordinator
+// verifies it reached the server holding ChainPub before the first onion
+// crosses the wire.
 func (co *Coordinator) chainConn(proto wire.Proto) (*wire.Conn, error) {
 	co.chainMu.Lock()
 	defer co.chainMu.Unlock()
@@ -581,7 +672,8 @@ func (co *Coordinator) chainConn(proto wire.Proto) (*wire.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coordinator: dialing chain %s: %w", co.cfg.ChainAddr, err)
 	}
-	c := wire.NewConn(raw)
+	sec := transport.SecureClient(raw, co.cfg.Identity, co.cfg.ChainPub)
+	c := wire.NewConn(sec)
 	co.chain[proto] = c
 	return c, nil
 }
@@ -597,16 +689,24 @@ func (co *Coordinator) dropChainConn(proto wire.Proto, conn *wire.Conn) {
 
 // Start drives rounds on timers until the context is cancelled: a
 // conversation round every ConvoInterval and a dialing round every
-// DialInterval (if set). Round failures are transient — the next tick
-// starts a fresh round — but each one is surfaced through
-// Config.OnRoundError so a persistent cause (an unreachable chain, a dead
-// dead-drop shard) is visible instead of silently swallowed.
+// DialInterval (if set). With ConvoWindow > 1, conversation rounds run
+// through the same collect → chain → fanout pipeline as RunConvoRounds,
+// so round r+1's announcement and collection overlap round r's chain
+// traversal instead of the timer goroutine serializing whole rounds.
+// Round failures are transient — the next tick starts a fresh round —
+// but each one is surfaced through Config.OnRoundError so a persistent
+// cause (an unreachable chain, a dead dead-drop shard) is visible
+// instead of silently swallowed.
 func (co *Coordinator) Start(ctx context.Context) {
 	if co.cfg.ConvoInterval > 0 {
-		go co.loop(ctx, co.cfg.ConvoInterval, func() {
-			round, _, err := co.RunConvoRound(ctx)
-			co.reportRoundError(wire.ProtoConvo, round, err)
-		})
+		if co.cfg.ConvoWindow > 1 {
+			go co.convoPipeline(ctx)
+		} else {
+			go co.loop(ctx, co.cfg.ConvoInterval, func() {
+				round, _, err := co.RunConvoRound(ctx)
+				co.reportRoundError(wire.ProtoConvo, round, err)
+			})
+		}
 	}
 	if co.cfg.DialInterval > 0 {
 		go co.loop(ctx, co.cfg.DialInterval, func() {
@@ -614,6 +714,38 @@ func (co *Coordinator) Start(ctx context.Context) {
 			co.reportRoundError(wire.ProtoDial, round, err)
 		})
 	}
+}
+
+// convoPipeline is timer mode's pipelined conversation driver: the
+// shared runConvoPipeline stages, paced by the ConvoInterval ticker and
+// bounded by ConvoWindow in-flight rounds. Unlike RunConvoRounds —
+// whose callers want the error — a chain failure here is reported
+// through OnRoundError and the pipeline keeps ticking, matching serial
+// timer mode's behavior; only shutdown (context or Close) ends it.
+func (co *Coordinator) convoPipeline(ctx context.Context) {
+	t := time.NewTicker(co.cfg.ConvoInterval)
+	defer t.Stop()
+	co.runConvoPipeline(ctx, co.cfg.ConvoWindow, convoStageHooks{
+		next: func() bool {
+			select {
+			case <-ctx.Done():
+				return false
+			case <-co.closeCh:
+				return false
+			case <-t.C:
+				return true
+			}
+		},
+		onCollectErr: func(round uint64, err error) bool {
+			// Collection fails only on shutdown.
+			co.reportRoundError(wire.ProtoConvo, round, err)
+			return false
+		},
+		onChainErr: func(round uint64, err error) bool {
+			co.reportRoundError(wire.ProtoConvo, round, err)
+			return true
+		},
+	})
 }
 
 // reportRoundError forwards a timer-mode round failure to the configured

@@ -319,4 +319,9 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("coordinator without chain accepted")
 	}
+	// A networked chain without the head's public key would force a
+	// plaintext (or unauthenticated) entry leg; New must refuse.
+	if _, err := New(Config{Net: transport.NewMem(), ChainAddr: "chain"}); err == nil {
+		t.Fatal("networked coordinator without ChainPub accepted")
+	}
 }

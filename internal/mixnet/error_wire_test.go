@@ -31,11 +31,7 @@ func TestHandleConnSendsErrorReply(t *testing.T) {
 	defer l.Close()
 	go srv.Serve(l)
 
-	raw, err := net.Dial("last")
-	if err != nil {
-		t.Fatal(err)
-	}
-	conn := wire.NewConn(raw)
+	conn := dialEntry(t, net, "last", pubs[0])
 	defer conn.Close()
 
 	send := func(round uint64) *wire.Message {

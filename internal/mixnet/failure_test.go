@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/noise"
 	"vuvuzela/internal/transport"
 	"vuvuzela/internal/wire"
@@ -105,7 +106,10 @@ func TestReplyCountMismatchRejected(t *testing.T) {
 		if err != nil {
 			return
 		}
-		conn := wire.NewConn(raw)
+		// The compromised successor still holds its real chain key, so it
+		// completes the authenticated handshake — the attack here is
+		// protocol misbehavior, not impersonation.
+		conn := wire.NewConn(transport.SecureServer(raw, privs[1], []box.PublicKey{pubs[0]}))
 		defer conn.Close()
 		for {
 			msg, err := conn.Recv()

@@ -8,6 +8,12 @@
 // protocol to its predecessor and successor) or fully in-process via
 // NextLocal chaining, which the tests, examples, and the evaluation
 // harness use.
+//
+// Every networked leg — the entry leg into server 0, each chain hop,
+// and the last server's shard fan-out — runs inside transport.Secure,
+// keyed by the chain descriptor's long-term keys; docs/WIRE.md
+// specifies the framing and docs/THREAT_MODEL.md maps each leg onto the
+// paper's adversary.
 package mixnet
 
 import (
@@ -32,6 +38,7 @@ import (
 // BucketSink receives a dialing round's published buckets from the last
 // server — the CDN substrate of §5.5.
 type BucketSink interface {
+	// Publish receives one dialing round's filled invitation buckets.
 	Publish(*dial.Buckets)
 }
 
@@ -98,10 +105,23 @@ type Config struct {
 
 	// Exactly one of the following must be set unless this is the last
 	// server: NextAddr+Net for a networked successor, or NextLocal for
-	// in-process chaining.
-	Net       transport.Network
-	NextAddr  string
+	// in-process chaining. Networked legs always run inside
+	// transport.Secure keyed by Priv and ChainPubs — there is no
+	// plaintext hop (docs/THREAT_MODEL.md).
+	// Net is the byte-stream substrate this server dials its successor
+	// (and, on the last server, its shards) over.
+	Net transport.Network
+	// NextAddr is the networked successor's listen address.
+	NextAddr string
+	// NextLocal chains to the successor in-process (tests, evaluation).
 	NextLocal *Server
+
+	// HandshakeTimeout bounds how long an accepted connection may sit
+	// unauthenticated before being dropped (0 = DefaultHandshakeTimeout).
+	// Serve wraps every accepted connection in transport.Secure: server 0
+	// authenticates itself to the untrusted entry leg (any client key may
+	// drive it), later positions accept only their predecessor's key.
+	HandshakeTimeout time.Duration
 
 	// Buckets receives dialing buckets if this is the last server.
 	Buckets BucketSink
@@ -136,15 +156,33 @@ type Server struct {
 
 // Errors returned by round processing.
 var (
-	ErrRoundReplay   = errors.New("mixnet: round not newer than previous round")
+	// ErrRoundReplay rejects a round at or below the last processed one
+	// (the strictly-increasing round check, docs/THREAT_MODEL.md).
+	ErrRoundReplay = errors.New("mixnet: round not newer than previous round")
+	// ErrReplyMismatch rejects a successor's reply batch whose size does
+	// not match the forwarded batch.
 	ErrReplyMismatch = errors.New("mixnet: reply count does not match batch")
-	ErrNoSuccessor   = errors.New("mixnet: no successor configured")
+	// ErrNoSuccessor rejects a non-last server configured without a
+	// successor.
+	ErrNoSuccessor = errors.New("mixnet: no successor configured")
 )
 
-// NewServer validates the configuration and returns a Server.
+// NewServer validates the configuration and returns a Server. The
+// private key must be the one whose public half the chain descriptor
+// lists at Position: every networked leg — accepting the predecessor (or
+// the entry leg at position 0) and dialing the successor — is
+// authenticated with it, so a mismatched key could never complete a
+// handshake anyway and is rejected here instead of at the first round.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.Position < 0 || cfg.Position >= len(cfg.ChainPubs) {
 		return nil, fmt.Errorf("mixnet: position %d out of range for chain of %d", cfg.Position, len(cfg.ChainPubs))
+	}
+	pub, err := box.PublicKeyOf(&cfg.Priv)
+	if err != nil {
+		return nil, fmt.Errorf("mixnet: server private key invalid: %w", err)
+	}
+	if pub != cfg.ChainPubs[cfg.Position] {
+		return nil, fmt.Errorf("mixnet: private key does not match chain descriptor position %d", cfg.Position)
 	}
 	last := cfg.Position == len(cfg.ChainPubs)-1
 	if !last && cfg.NextLocal == nil && (cfg.NextAddr == "" || cfg.Net == nil) {
@@ -373,8 +411,10 @@ func (s *Server) forwardDial(round uint64, m uint32, batch [][]byte) ([][]byte, 
 // router maps onto the shard's address. The round may have been
 // consumed, so the predecessor must not blindly retry.
 type RemoteError struct {
+	// Addr names the peer the failure is attributed to.
 	Addr string
-	Msg  string
+	// Msg is the peer's reported cause (or a local description of it).
+	Msg string
 	// Err is the underlying cause when it originated locally (a shard
 	// RPC failure), so callers can classify it — e.g.
 	// errors.Is(err, transport.ErrAuth). Nil for rejections that arrived
@@ -382,6 +422,7 @@ type RemoteError struct {
 	Err error
 }
 
+// Error implements error, naming the peer and its reported cause.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("mixnet: remote %s reported: %s", e.Addr, e.Msg)
 }
@@ -432,6 +473,10 @@ func (s *Server) rpc(conn *wire.Conn, proto wire.Proto, round uint64, m uint32, 
 	return resp.Body, nil
 }
 
+// nextConn returns the successor connection for proto, dialing lazily.
+// Every dial is wrapped in transport.SecureClient keyed by this server's
+// private key and the successor's chain-descriptor key, so a misdirected
+// or intercepted hop fails the handshake instead of leaking a batch.
 func (s *Server) nextConn(proto wire.Proto) (*wire.Conn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -442,7 +487,8 @@ func (s *Server) nextConn(proto wire.Proto) (*wire.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mixnet: dialing successor %s: %w", s.cfg.NextAddr, err)
 	}
-	c := wire.NewConn(raw)
+	sec := transport.SecureClient(raw, s.cfg.Priv, s.cfg.ChainPubs[s.cfg.Position+1])
+	c := wire.NewConn(sec)
 	s.next[proto] = c
 	return c, nil
 }
@@ -460,6 +506,39 @@ func (s *Server) dropConn(proto wire.Proto, conn *wire.Conn) {
 // server 0) and processes batches until the listener closes.
 func (s *Server) Serve(l net.Listener) error {
 	return serveLoop(l, s.closeCh, s.handleConn)
+}
+
+// acceptSecure runs the accept-side handshake with the deadline rules
+// shared by chain and shard servers: the unauthenticated phase is
+// bounded so a peer that dials and never finishes the handshake cannot
+// pin a goroutine and socket per idle dial. The bound stays in place
+// until the peer's FIRST authenticated frame — the handshake hello
+// alone is replayable by a network observer (it completes the server's
+// side without yielding the replayer a session key), so completion of
+// the handshake does not yet prove a live, keyed peer; only an
+// authenticated record does. A real peer dials lazily and sends its
+// first frame immediately, so the deadline never bites a healthy
+// connection. The returned authenticated func clears the deadline; the
+// receive loop calls it once the first frame arrives. On error the
+// connection is already closed.
+func acceptSecure(raw net.Conn, sc *transport.Secure, timeout time.Duration) (*wire.Conn, func(), error) {
+	if timeout <= 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	c := wire.NewConn(sc)
+	raw.SetDeadline(time.Now().Add(timeout))
+	if err := sc.Handshake(); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	cleared := false
+	authenticated := func() {
+		if !cleared {
+			raw.SetDeadline(time.Time{})
+			cleared = true
+		}
+	}
+	return c, authenticated, nil
 }
 
 // serveLoop is the accept lifecycle shared by Server and ShardServer:
@@ -482,14 +561,31 @@ func serveLoop(l net.Listener, closeCh <-chan struct{}, handle func(net.Conn)) e
 	}
 }
 
+// handleConn serves one predecessor (or entry) connection. The raw
+// stream is wrapped in transport.Secure before any frame is parsed:
+// position 0 runs the entry leg (it proves its own key to the dialer and
+// accepts any client static — the entry server is untrusted, §7), later
+// positions accept only their chain predecessor's descriptor key. The
+// unauthenticated phase is deadline-bounded by acceptSecure, exactly
+// like the shard servers.
 func (s *Server) handleConn(raw net.Conn) {
-	c := wire.NewConn(raw)
+	var sc *transport.Secure
+	if s.cfg.Position == 0 {
+		sc = transport.SecureServerAny(raw, s.cfg.Priv)
+	} else {
+		sc = transport.SecureServer(raw, s.cfg.Priv, []box.PublicKey{s.cfg.ChainPubs[s.cfg.Position-1]})
+	}
+	c, authenticated, err := acceptSecure(raw, sc, s.cfg.HandshakeTimeout)
+	if err != nil {
+		return
+	}
 	defer c.Close()
 	for {
 		msg, err := c.Recv()
 		if err != nil {
 			return
 		}
+		authenticated()
 		if msg.Kind != wire.KindBatch {
 			return
 		}

@@ -54,6 +54,22 @@ func localChain(t testing.TB, n int, convoNoise, dialNoise noise.Distribution) (
 	return servers, pubs, snk
 }
 
+// dialEntry connects to a chain head's entry leg the way the coordinator
+// does: a fresh client identity inside transport.Secure, authenticating
+// the server's chain-descriptor key.
+func dialEntry(t testing.TB, net transport.Network, addr string, serverPub box.PublicKey) *wire.Conn {
+	t.Helper()
+	raw, err := net.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, priv, err := box.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.NewConn(transport.SecureClient(raw, priv, serverPub))
+}
+
 // user is a minimal test client.
 type user struct {
 	pub  box.PublicKey
@@ -318,12 +334,9 @@ func TestNetworkedChain(t *testing.T) {
 	aOnion, aKeys, aSecret := alice.convoOnion(t, round, pubs, &bob.pub, []byte("over the wire"))
 	bOnion, bKeys, bSecret := bob.convoOnion(t, round, pubs, &alice.pub, []byte("loud and clear"))
 
-	// Drive the round like the entry server would: RPC to server 0.
-	raw, err := net.Dial(addrs[0])
-	if err != nil {
-		t.Fatal(err)
-	}
-	conn := wire.NewConn(raw)
+	// Drive the round like the entry server would: RPC to server 0 over
+	// the authenticated entry leg.
+	conn := dialEntry(t, net, addrs[0], pubs[0])
 	defer conn.Close()
 	if err := conn.Send(&wire.Message{
 		Kind: wire.KindBatch, Proto: wire.ProtoConvo, Round: round,

@@ -38,6 +38,7 @@ import (
 	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/deaddrop"
 	"vuvuzela/internal/parallel"
+	"vuvuzela/internal/roundstate"
 	"vuvuzela/internal/transport"
 	"vuvuzela/internal/wire"
 )
@@ -60,6 +61,7 @@ const (
 	ShardDegrade
 )
 
+// String names the policy for logs and flag output.
 func (p ShardPolicy) String() string {
 	switch p {
 	case ShardAbort:
@@ -89,6 +91,15 @@ type ShardConfig struct {
 	// AllowRoundReuse disables the strictly-increasing round check
 	// (tests and adversary simulations only).
 	AllowRoundReuse bool
+
+	// RoundState, if set, durably persists the round counter behind the
+	// strictly-increasing check (write-ahead: a round is committed to
+	// disk before its exchange runs). A restarted shard seeded from the
+	// same store rejoins the chain with replay protection intact — the
+	// alternative, AllowRoundReuse, reopens the §4.2 replay window for
+	// every round before the crash. NewShardServer resumes the counter
+	// from RoundState.Last.
+	RoundState *roundstate.Store
 
 	// Identity is this shard's long-term private key (the one whose
 	// public half the chain descriptor lists for this shard). Required:
@@ -120,6 +131,12 @@ type ShardServer struct {
 	mu        sync.Mutex
 	lastRound uint64
 
+	// connMu tracks accepted connections so Close severs them — a
+	// "crashed" shard must not keep serving rounds through connections
+	// accepted before the crash.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
 	closed  sync.Once
 	closeCh chan struct{}
 }
@@ -146,7 +163,27 @@ func NewShardServer(cfg ShardConfig) (*ShardServer, error) {
 			return nil, errors.New("mixnet: zero key in shard server authorized list")
 		}
 	}
-	return &ShardServer{cfg: cfg, closeCh: make(chan struct{})}, nil
+	if cfg.AllowRoundReuse && cfg.RoundState != nil {
+		// Contradictory: with the round check disabled the store would
+		// never be written, while its presence tells the operator rounds
+		// are durably committed.
+		return nil, errors.New("mixnet: AllowRoundReuse together with a RoundState store — the store would silently never be written")
+	}
+	ss := &ShardServer{cfg: cfg, conns: make(map[net.Conn]struct{}), closeCh: make(chan struct{})}
+	if cfg.RoundState != nil {
+		// Resume the replay counter a previous process committed: rounds
+		// consumed before the crash stay consumed.
+		ss.lastRound = cfg.RoundState.Last()
+	}
+	return ss, nil
+}
+
+// LastRound reports the highest round this shard has committed (from the
+// durable store after a restart, when one is configured).
+func (s *ShardServer) LastRound() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRound
 }
 
 // ExchangeRound runs this shard's slice of one round's dead-drop exchange
@@ -164,6 +201,19 @@ func (s *ShardServer) ExchangeRound(round uint64, requests [][]byte) ([][]byte, 
 			s.mu.Unlock()
 			return nil, fmt.Errorf("%w: %d after %d", ErrRoundReplay, round, last)
 		}
+		if s.cfg.RoundState != nil {
+			// Write-ahead: commit the round as consumed BEFORE touching
+			// the dead drops. A crash after this point loses the round
+			// (the predecessor sees a failure and never blindly retries);
+			// a crash before it leaves the counter untouched. Either way
+			// the same round can never be exchanged twice. If the disk
+			// refuses, the round fails without advancing the in-memory
+			// counter, so a healed disk can still accept it.
+			if err := s.cfg.RoundState.Commit(round); err != nil {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("mixnet: shard %d cannot persist round %d: %w", s.cfg.Index, round, err)
+			}
+		}
 		s.lastRound = round
 		s.mu.Unlock()
 	}
@@ -179,27 +229,28 @@ func (s *ShardServer) Serve(l net.Listener) error {
 }
 
 func (s *ShardServer) handleConn(raw net.Conn) {
-	sc := transport.SecureServer(raw, s.cfg.Identity, s.cfg.Authorized)
-	c := wire.NewConn(sc)
-	defer c.Close()
-	// Bound the unauthenticated phase: a peer that dials and never
-	// finishes the handshake must not hold this goroutine forever. The
-	// bound stays in place until the peer's FIRST authenticated frame:
-	// the handshake hello alone is replayable by a network observer
-	// (it completes the server's side without yielding the replayer a
-	// session key), so completion of the handshake does not yet prove
-	// a live, keyed peer — only an authenticated record does. A real
-	// router dials lazily and sends its round frame immediately, so
-	// the deadline never bites a healthy connection.
-	hsTimeout := s.cfg.HandshakeTimeout
-	if hsTimeout <= 0 {
-		hsTimeout = DefaultHandshakeTimeout
-	}
-	raw.SetDeadline(time.Now().Add(hsTimeout))
-	if err := sc.Handshake(); err != nil {
+	s.connMu.Lock()
+	if s.conns == nil {
+		// Closed before the handler ran.
+		s.connMu.Unlock()
+		raw.Close()
 		return
 	}
-	first := true
+	s.conns[raw] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, raw)
+		s.connMu.Unlock()
+	}()
+	sc := transport.SecureServer(raw, s.cfg.Identity, s.cfg.Authorized)
+	// acceptSecure bounds the unauthenticated phase until the router's
+	// first authenticated frame, shared with the chain servers.
+	c, authenticated, err := acceptSecure(raw, sc, s.cfg.HandshakeTimeout)
+	if err != nil {
+		return
+	}
+	defer c.Close()
 	for {
 		msg, err := c.Recv()
 		if err != nil {
@@ -207,10 +258,7 @@ func (s *ShardServer) handleConn(raw net.Conn) {
 			// tampering peer never gets a frame into the exchange.
 			return
 		}
-		if first {
-			raw.SetDeadline(time.Time{})
-			first = false
-		}
+		authenticated()
 		var resp *wire.Message
 		if err := wire.CheckShardRound(msg, uint32(s.cfg.Index), uint32(s.cfg.NumShards)); err != nil {
 			// Report the mismatch instead of closing: the router sees the
@@ -227,10 +275,19 @@ func (s *ShardServer) handleConn(raw net.Conn) {
 	}
 }
 
-// Close shuts the server down; a Serve loop returns after its listener is
-// closed by the caller.
+// Close shuts the server down, severing accepted connections (so a
+// simulated crash cannot keep serving rounds through an old connection);
+// a Serve loop returns after its listener is closed by the caller.
 func (s *ShardServer) Close() error {
-	s.closed.Do(func() { close(s.closeCh) })
+	s.closed.Do(func() {
+		close(s.closeCh)
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.conns = nil
+		s.connMu.Unlock()
+	})
 	return nil
 }
 

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package roundstate
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable: the counter's
+// atomic-rename durability still holds, but two live processes sharing
+// one state file are not detected on these platforms (deployment
+// targets are unix).
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package roundstate
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on f, held
+// until the descriptor closes (explicitly via Store.Close or implicitly
+// on process death).
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,162 @@
+// Package roundstate durably persists a server's last-committed round
+// counter, so a restarted process rejoins the chain with its replay
+// protection intact instead of falling back to AllowRoundReuse.
+//
+// The mixnet's safety against round replay (a shard must never run the
+// same round's dead-drop exchange twice — docs/THREAT_MODEL.md) rests on
+// a strictly-increasing round check that PR 2 kept only in memory: any
+// crash reset it to zero, and the recovering operator had to choose
+// between refusing all traffic and disabling the check. This package
+// closes that gap with the smallest possible durable store: one file
+// holding one decimal counter, updated write-ahead (the round number is
+// committed to disk BEFORE the exchange runs, so a crash mid-round can
+// only lose a round, never replay one) via the classic
+// write-temp → fsync → rename → fsync-dir sequence, which is atomic on
+// POSIX filesystems — a torn write leaves the previous counter, never a
+// corrupt or regressed one. An advisory flock on a sidecar .lock file
+// guards against two live processes sharing one counter (e.g. a
+// supervisor starting the replacement shard before the old process
+// exits): the second Open fails loudly instead of both processes
+// accepting the same round.
+package roundstate
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// Store persists a monotonically increasing round counter in a single
+// file, exclusively held by this process until Close (or process exit)
+// releases the advisory lock. It is safe for concurrent use within the
+// process; Commit serializes internally.
+type Store struct {
+	path string
+	lock *os.File
+
+	mu   sync.Mutex
+	last uint64
+}
+
+// Open reads the counter at path, creating the state lazily on first
+// Commit if the file does not exist yet, and takes an exclusive
+// advisory lock on path.lock for the Store's lifetime — a second
+// process (or a second Store in this process) pointed at the same path
+// fails here instead of both passing the replay check for the same
+// round. A counter file that exists but does not parse is an error, not
+// a zero counter: silently resetting the counter is exactly the replay
+// window the store exists to close.
+func Open(path string) (*Store, error) {
+	lock, err := os.OpenFile(path+".lock", os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("roundstate: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("roundstate: %s is held by another live process (flock: %w) — two shards must never share a round counter", path, err)
+	}
+	s := &Store{path: path, lock: lock}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("roundstate: reading %s: %w", path, err)
+	}
+	last, perr := strconv.ParseUint(string(bytes.TrimSpace(data)), 10, 64)
+	if perr != nil {
+		s.Close()
+		return nil, fmt.Errorf("roundstate: %s is corrupt (%q): refusing to reset the replay counter", path, bytes.TrimSpace(data))
+	}
+	s.last = last
+	return s, nil
+}
+
+// Path returns the backing file's path.
+func (s *Store) Path() string { return s.path }
+
+// Close releases the advisory lock so another process (or a reopened
+// Store) may take over the counter. A crashed process releases it
+// implicitly. Close does not remove the counter file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lock == nil {
+		return nil
+	}
+	err := s.lock.Close() // closing the descriptor drops the flock
+	s.lock = nil
+	return err
+}
+
+// Last returns the highest committed round (0 if none).
+func (s *Store) Last() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Commit durably records round as consumed. Callers invoke it BEFORE
+// acting on the round (write-ahead): once Commit returns nil, a crash
+// at any later point leaves a counter that rejects the round's replay —
+// every step of the temp-write → fsync → rename → directory-fsync
+// sequence must succeed, or the error propagates and the in-memory
+// counter stays put (a retry of the same round re-commits harmlessly).
+// A round at or below the committed counter is a no-op; the counter
+// never moves backwards.
+func (s *Store) Commit(round uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if round <= s.last {
+		return nil
+	}
+	if s.lock == nil {
+		return fmt.Errorf("roundstate: %s is closed", s.path)
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("roundstate: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", round); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("roundstate: writing %s: %w", tmp, err)
+	}
+	// fsync the data before the rename: rename-then-crash must expose
+	// the new counter or the old one, never an empty file.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("roundstate: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("roundstate: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("roundstate: %w", err)
+	}
+	// fsync the directory so the rename itself survives a crash. A
+	// failure here means the commit may not be durable yet, so it must
+	// fail the round like any other step — returning nil would let the
+	// exchange run on a counter that can still be lost.
+	dir, err := os.Open(filepath.Dir(s.path))
+	if err != nil {
+		return fmt.Errorf("roundstate: syncing directory of %s: %w", s.path, err)
+	}
+	if err := dir.Sync(); err != nil {
+		dir.Close()
+		return fmt.Errorf("roundstate: syncing directory of %s: %w", s.path, err)
+	}
+	if err := dir.Close(); err != nil {
+		return fmt.Errorf("roundstate: syncing directory of %s: %w", s.path, err)
+	}
+	s.last = round
+	return nil
+}

@@ -3,11 +3,13 @@ package sim
 import (
 	"fmt"
 	"net"
+	"path/filepath"
 	"time"
 
 	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/mixnet"
 	"vuvuzela/internal/noise"
+	"vuvuzela/internal/roundstate"
 	"vuvuzela/internal/transport"
 )
 
@@ -42,6 +44,11 @@ type ShardNetConfig struct {
 	// or a transport.MITM to tamper with the (encrypted) leg, while the
 	// listeners stay healthy.
 	DialNet transport.Network
+	// StateDir, if set, gives every shard server a durable round-state
+	// file (StateDir/shard-<i>.round) so RestartShard simulates a crash
+	// and recovery with replay protection intact — the production
+	// `vuvuzela-server -mode shard -round-state` wiring, in-process.
+	StateDir string
 }
 
 // ShardNet is a running in-memory multi-shard chain.
@@ -57,8 +64,17 @@ type ShardNet struct {
 	ShardPubs []box.PublicKey
 	// Addrs are the shard listen addresses, by index.
 	Addrs []string
+	// RouterPriv is the last chain server's private key — the identity
+	// the shards authorize. Adversarial tests use it to speak to a shard
+	// directly, as a (replaying) router would.
+	RouterPriv box.PrivateKey
 
-	listeners []net.Listener
+	// shardCfgs remembers each shard's config (minus its RoundState,
+	// reopened from disk per restart) so RestartShard can rebuild it.
+	shardCfgs  []mixnet.ShardConfig
+	statePaths []string
+	net        transport.Network
+	listeners  []net.Listener
 }
 
 // NewShardNet starts the shard servers on their listeners and builds the
@@ -85,24 +101,47 @@ func NewShardNet(cfg ShardNetConfig) (*ShardNet, error) {
 		return nil, err
 	}
 	routerPub := pubs[cfg.Servers-1]
-	sn := &ShardNet{Pubs: pubs, ShardPubs: shardPubs}
+	sn := &ShardNet{
+		Pubs: pubs, ShardPubs: shardPubs,
+		RouterPriv: privs[cfg.Servers-1],
+		net:        cfg.Net,
+	}
 
 	for i := 0; i < cfg.Shards; i++ {
-		ss, err := mixnet.NewShardServer(mixnet.ShardConfig{
+		sc := mixnet.ShardConfig{
 			Index:      i,
 			NumShards:  cfg.Shards,
 			Subshards:  cfg.Subshards,
 			Workers:    cfg.Workers,
 			Identity:   shardPrivs[i],
 			Authorized: []box.PublicKey{routerPub},
-		})
+		}
+		statePath := ""
+		if cfg.StateDir != "" {
+			statePath = filepath.Join(cfg.StateDir, fmt.Sprintf("shard-%d.round", i))
+			store, err := roundstate.Open(statePath)
+			if err != nil {
+				sn.Close()
+				return nil, err
+			}
+			sc.RoundState = store
+		}
+		ss, err := mixnet.NewShardServer(sc)
 		if err != nil {
+			// sc is not yet in shardCfgs, so sn.Close cannot release its
+			// store's lock — do it here.
+			if sc.RoundState != nil {
+				sc.RoundState.Close()
+			}
 			sn.Close()
 			return nil, err
 		}
 		addr := fmt.Sprintf("shard-%d", i)
 		l, err := cfg.Net.Listen(addr)
 		if err != nil {
+			if sc.RoundState != nil {
+				sc.RoundState.Close()
+			}
 			sn.Close()
 			return nil, err
 		}
@@ -110,6 +149,8 @@ func NewShardNet(cfg ShardNetConfig) (*ShardNet, error) {
 		sn.Shards = append(sn.Shards, ss)
 		sn.Addrs = append(sn.Addrs, addr)
 		sn.listeners = append(sn.listeners, l)
+		sn.shardCfgs = append(sn.shardCfgs, sc)
+		sn.statePaths = append(sn.statePaths, statePath)
 	}
 
 	sn.Chain = make([]*mixnet.Server, cfg.Servers)
@@ -146,7 +187,53 @@ func NewShardNet(cfg ShardNetConfig) (*ShardNet, error) {
 // Head returns the chain's first server, where rounds enter.
 func (sn *ShardNet) Head() *mixnet.Server { return sn.Chain[0] }
 
-// Close shuts down the chain, the shard servers, and their listeners.
+// RestartShard simulates shard i crashing and a fresh process taking
+// over: the old server and its listener are torn down (severing every
+// connection, like a killed process), and a new ShardServer starts on
+// the same address, re-reading its round state from disk when the net
+// was built with StateDir. The router's cached connection dies with the
+// old process and heals by lazy redial on the next round.
+func (sn *ShardNet) RestartShard(i int) error {
+	if i < 0 || i >= len(sn.Shards) {
+		return fmt.Errorf("sim: no shard %d to restart", i)
+	}
+	sn.listeners[i].Close()
+	sn.Shards[i].Close()
+
+	sc := sn.shardCfgs[i]
+	if sn.statePaths[i] != "" {
+		// A real restart re-reads the file; reusing the old in-memory
+		// store would hide a counter that never hit the disk. The dead
+		// "process" must release its advisory lock first (a real crash
+		// releases it implicitly).
+		if sc.RoundState != nil {
+			sc.RoundState.Close()
+		}
+		store, err := roundstate.Open(sn.statePaths[i])
+		if err != nil {
+			return err
+		}
+		sc.RoundState = store
+		// Record the live store immediately: if a later step fails,
+		// Close (and a RestartShard retry) must still release its lock.
+		sn.shardCfgs[i] = sc
+	}
+	ss, err := mixnet.NewShardServer(sc)
+	if err != nil {
+		return err
+	}
+	l, err := sn.net.Listen(sn.Addrs[i])
+	if err != nil {
+		return err
+	}
+	go ss.Serve(l)
+	sn.Shards[i] = ss
+	sn.listeners[i] = l
+	return nil
+}
+
+// Close shuts down the chain, the shard servers, their listeners, and
+// the shards' round-state stores (releasing the advisory locks).
 func (sn *ShardNet) Close() {
 	for _, srv := range sn.Chain {
 		if srv != nil {
@@ -158,6 +245,11 @@ func (sn *ShardNet) Close() {
 	}
 	for _, ss := range sn.Shards {
 		ss.Close()
+	}
+	for _, sc := range sn.shardCfgs {
+		if sc.RoundState != nil {
+			sc.RoundState.Close()
+		}
 	}
 }
 

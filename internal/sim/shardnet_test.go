@@ -483,9 +483,9 @@ func TestShardFaultMatrixDegrade(t *testing.T) {
 	defer LeakCheck(t)()
 	const shards = 5
 	matrix := []struct {
-		name  string
-		kill  []int
-		hang  []int
+		name string
+		kill []int
+		hang []int
 	}{
 		{"one-killed", []int{2}, nil},
 		{"two-killed", []int{0, 4}, nil},

@@ -17,6 +17,7 @@ const (
 	ServerToClient
 )
 
+// String names the direction for test failure messages.
 func (d Direction) String() string {
 	if d == ClientToServer {
 		return "client→server"

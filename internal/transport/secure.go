@@ -28,6 +28,11 @@
 // injected faults, closed peers) pass through unchanged so callers can
 // tell "the network failed" from "someone is forging traffic" — the
 // distinction the shard router's degradation policy depends on.
+//
+// The exact handshake transcript, record framing, nonce schedule, and
+// alert semantics are specified byte-for-byte in docs/WIRE.md; the
+// leg-by-leg authorization rules and what this channel does and does
+// not defend against are in docs/THREAT_MODEL.md.
 package transport
 
 import (
@@ -94,6 +99,9 @@ type Secure struct {
 	serverPub box.PublicKey
 	// authorized lists the static keys allowed to connect (server role).
 	authorized []box.PublicKey
+	// anyPeer, in the server role, accepts every client static key
+	// (server-only authentication — the entry leg).
+	anyPeer bool
 
 	hsMu   sync.Mutex
 	hsDone bool
@@ -123,6 +131,20 @@ func SecureClient(conn net.Conn, priv box.PrivateKey, serverPub box.PublicKey) *
 // it. Any other peer fails the handshake with ErrAuth.
 func SecureServer(conn net.Conn, priv box.PrivateKey, authorized []box.PublicKey) *Secure {
 	return &Secure{conn: conn, priv: priv, authorized: authorized}
+}
+
+// SecureServerAny wraps the accepting side of a connection that
+// authenticates the SERVER only: any client static key completes the
+// handshake, the way a TLS server accepts anonymous clients. The channel
+// is still encrypted and the records still authenticated under the
+// session key — what is dropped is only the client-identity check. This
+// is the entry-leg mode (docs/THREAT_MODEL.md): the chain's first server
+// proves its long-term key to whoever dials (the untrusted entry server
+// or a future direct client), but deliberately does not restrict who may
+// submit batches, because the entry role is untrusted in the paper's
+// threat model and gains nothing by holding a well-known key.
+func SecureServerAny(conn net.Conn, priv box.PrivateKey) *Secure {
+	return &Secure{conn: conn, priv: priv, anyPeer: true}
 }
 
 // Peer returns the authenticated remote static key; the zero key before
@@ -234,7 +256,7 @@ func (s *Secure) serverHandshake() error {
 	copy(clientPub[:], msg1[1:1+box.KeySize])
 	copy(cEph[:], msg1[1+box.KeySize:1+2*box.KeySize])
 
-	allowed := false
+	allowed := s.anyPeer
 	for _, k := range s.authorized {
 		if k == clientPub {
 			allowed = true
@@ -243,6 +265,12 @@ func (s *Secure) serverHandshake() error {
 	}
 	if !allowed {
 		return authErr("peer key not authorized")
+	}
+	if clientPub == (box.PublicKey{}) {
+		// An all-zero static would make the msg1 proof vacuous (the
+		// low-order X25519 point yields an all-zero shared secret any
+		// observer can compute); no honest dialer sends it.
+		return authErr("peer presented a zero key")
 	}
 
 	ss, err := box.Precompute(&clientPub, &s.priv)

@@ -14,7 +14,9 @@ import (
 
 // Network creates listeners and dials peers by address.
 type Network interface {
+	// Listen binds addr and accepts inbound byte streams.
 	Listen(addr string) (net.Listener, error)
+	// Dial opens a byte stream to the peer listening on addr.
 	Dial(addr string) (net.Conn, error)
 }
 

@@ -6,6 +6,11 @@
 // The encoding is a simple deterministic binary format: every frame is a
 // 4-byte big-endian length followed by a fixed header and a list of
 // byte-slices. All multi-byte integers are big-endian.
+//
+// The byte-level specification of this layer — and of the secure
+// transport every inter-server leg wraps it in — is docs/WIRE.md; the
+// fuzz targets in fuzz_test.go are the executable form of its "MUST
+// reject" clauses.
 package wire
 
 import (
@@ -145,18 +150,20 @@ type Proto byte
 
 // Protocols.
 const (
+	// ProtoConvo marks conversation-protocol rounds (§3–4).
 	ProtoConvo Proto = 1
-	ProtoDial  Proto = 2
+	// ProtoDial marks dialing-protocol rounds (§5).
+	ProtoDial Proto = 2
 )
 
 // Message is the single frame structure shared by all kinds; unused
 // fields are zero.
 type Message struct {
-	Kind   Kind
-	Proto  Proto
-	Round  uint64
+	Kind   Kind     // message type (one of the Kind* constants)
+	Proto  Proto    // protocol the round belongs to
+	Round  uint64   // round number
 	M      uint32   // dialing bucket count (KindAnnounce, KindBatch)
-	Bucket uint32   // bucket index (KindBucketReq/Resp)
+	Bucket uint32   // bucket index (KindBucketReq/Resp), shard index (KindShard*)
 	Body   [][]byte // onions, bucket blobs, or a single payload at [0]
 }
 
