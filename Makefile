@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint doclint build test race shardtest fuzz bench example-smoke clean
+.PHONY: check vet lint doclint build test race shardtest restart-matrix fuzz bench example-smoke clean
 
-check: lint build race shardtest fuzz
+check: lint build race shardtest restart-matrix fuzz
 
 vet:
 	$(GO) vet ./...
@@ -32,12 +32,21 @@ race:
 shardtest:
 	$(GO) test -race -run 'Shard|Fault|Secure|MITM|Degrade' -timeout 5m ./...
 
+# The chain-wide crash/restart matrix and every other durable round-state
+# suite at full depth under the race detector: kill/restart of the entry,
+# each chain server, and each shard — before a round, mid-round, and
+# between pipelined rounds — plus the no-persistence replay controls.
+restart-matrix:
+	$(GO) test -race -run 'Restart|Rejoin|RoundState|Reissues' -timeout 5m ./...
+
 # Short coverage-guided smoke over the authenticated-transport parsers
-# (each target also runs its seed corpus in every plain `go test`).
+# and the round-state loaders (each target also runs its seed corpus in
+# every plain `go test`).
 fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureHandshakeServer$$' -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureHandshakeClient$$' -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureRecordTamper$$' -fuzztime 10s
+	$(GO) test ./internal/roundstate -run '^$$' -fuzz 'FuzzRoundStateLoad$$' -fuzztime 10s
 
 # Boots the examples/chain deployment (3 servers + 2 shards + entry, all
 # real processes on loopback TCP) and exchanges a message through it.

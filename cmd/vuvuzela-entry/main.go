@@ -16,6 +16,7 @@ import (
 	"vuvuzela/internal/config"
 	"vuvuzela/internal/coordinator"
 	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/roundstate"
 	"vuvuzela/internal/transport"
 	"vuvuzela/internal/wire"
 )
@@ -26,11 +27,23 @@ func main() {
 	dialEvery := flag.Duration("dial-interval", time.Minute, "dialing round interval (paper uses 10m in production)")
 	submitTimeout := flag.Duration("submit-timeout", 5*time.Second, "how long to wait for client submissions")
 	convoWindow := flag.Int("convo-window", 1, "conversation rounds kept in flight at once (pipelined timer mode; 1 = serial)")
+	roundState := flag.String("round-state", "", "file durably recording the announced round numbers, so a restarted entry resumes numbering instead of re-issuing rounds a durable chain already consumed (empty = in-memory only; see docs/THREAT_MODEL.md)")
 	flag.Parse()
 
 	chain, err := config.LoadChain(*chainPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var store *roundstate.Counters
+	if *roundState != "" {
+		store, err = roundstate.OpenCounters(*roundState)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("round state in %s (resuming after convo round %d, dial round %d)",
+			*roundState, store.Last(roundstate.ConvoCounter), store.Last(roundstate.DialCounter))
+	} else {
+		log.Printf("WARNING: no -round-state file; restarting this entry against a durable chain re-issues consumed round numbers and wedges")
 	}
 	co, err := coordinator.New(coordinator.Config{
 		Net:           transport.TCP{},
@@ -41,6 +54,7 @@ func main() {
 		ConvoInterval: *convoEvery,
 		DialInterval:  *dialEvery,
 		ConvoWindow:   *convoWindow,
+		RoundState:    store,
 		OnRoundError: func(proto wire.Proto, round uint64, err error) {
 			// Round failures are transient (the next tick retries with a
 			// fresh round), but a persistent cause — unreachable chain,

@@ -38,7 +38,7 @@ func main() {
 	shards := flag.Int("shards", 0, "in-process dead-drop sub-tables (0 or 1 = one sequential table); applies to the last server, or within each shard server")
 	shardTimeout := flag.Duration("shard-timeout", time.Minute, "per-round RPC timeout to each shard server (last server only; 0 = wait forever)")
 	shardPolicy := flag.String("shard-policy", "abort", `"abort" fails the round on any shard failure; "degrade" zero-fills an unreachable shard's replies and completes the round (authentication failures still abort; zero-filled replies are observable round metadata — see README)`)
-	roundState := flag.String("round-state", "", `shard mode: file durably recording the last-committed round, so a restarted shard rejoins without replaying consumed rounds (empty = in-memory only; strongly recommended in production — see docs/THREAT_MODEL.md)`)
+	roundState := flag.String("round-state", "", `file durably recording the last-committed rounds, so a restarted server rejoins without replaying consumed rounds (chain and shard mode; empty = in-memory only; strongly recommended in production — see docs/THREAT_MODEL.md)`)
 	flag.Parse()
 	if *keyPath == "" {
 		flag.Usage()
@@ -66,7 +66,7 @@ func main() {
 
 	switch *mode {
 	case "chain":
-		runChain(chain, key, *fixedNoise, *workers, *shards, *shardTimeout, policy)
+		runChain(chain, key, *fixedNoise, *workers, *shards, *shardTimeout, policy, *roundState)
 	case "shard":
 		runShard(chain, key, *shardIndex, *workers, *shards, *roundState)
 	default:
@@ -83,7 +83,7 @@ func checkKey(priv box.PrivateKey, want config.Key, what string) {
 	}
 }
 
-func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, workers, shards int, shardTimeout time.Duration, policy mixnet.ShardPolicy) {
+func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, workers, shards int, shardTimeout time.Duration, policy mixnet.ShardPolicy, statePath string) {
 	pos := key.Position
 	if pos < 0 || pos >= len(chain.Servers) {
 		log.Fatalf("key position %d out of range for %d-server chain", pos, len(chain.Servers))
@@ -124,6 +124,18 @@ func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, worke
 		}
 	} else {
 		cfg.NextAddr = chain.Servers[pos+1].Addr
+	}
+
+	if statePath != "" {
+		store, err := roundstate.OpenCounters(statePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.RoundState = store
+		log.Printf("round state in %s (resuming after convo round %d, dial round %d)",
+			statePath, store.Last(roundstate.ConvoCounter), store.Last(roundstate.DialCounter))
+	} else {
+		log.Printf("WARNING: no -round-state file; a restart of this server resets its replay protection")
 	}
 
 	srv, err := mixnet.NewServer(cfg)

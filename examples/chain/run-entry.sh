@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the entry server of the examples/chain deployment with fast round
 # timers (the paper uses sub-minute conversation rounds and 10-minute
-# dialing rounds in production) and a pipelined conversation window.
+# dialing rounds in production), a pipelined conversation window, and a
+# -round-state file so a restarted entry resumes its round numbering
+# instead of re-issuing rounds the (durable) chain already consumed.
 set -euo pipefail
 cd "$(dirname "$0")"
 exec "${OUT:-deploy}/bin/vuvuzela-entry" \
@@ -9,4 +11,5 @@ exec "${OUT:-deploy}/bin/vuvuzela-entry" \
     -convo-interval "${CONVO_INTERVAL:-1s}" \
     -dial-interval "${DIAL_INTERVAL:-2s}" \
     -submit-timeout "${SUBMIT_TIMEOUT:-800ms}" \
-    -convo-window 2
+    -convo-window 2 \
+    -round-state "${OUT:-deploy}/entry.rounds"

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Runs chain server $1 of the examples/chain deployment (0-based; the
 # highest position is the last server, which routes the dead-drop
-# exchange to the shard servers and hosts the invitation CDN).
+# exchange to the shard servers and hosts the invitation CDN). The
+# -round-state file makes the server's replay protection survive
+# restarts: kill it mid-run and start it again — it rejoins the chain
+# without AllowRoundReuse, and stale-round replays still abort.
 set -euo pipefail
 cd "$(dirname "$0")"
 i=${1:?usage: run-server.sh INDEX}
 exec "${OUT:-deploy}/bin/vuvuzela-server" \
     -chain "${OUT:-deploy}/chain.json" \
     -key "${OUT:-deploy}/server-$i.key" \
-    -fixed-noise
+    -fixed-noise \
+    -round-state "${OUT:-deploy}/server-$i.rounds"

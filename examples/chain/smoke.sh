@@ -43,12 +43,13 @@ for i in 0 1; do
 done
 for i in 2 1 0; do
     "$WORK/bin/vuvuzela-server" -chain "$WORK/deploy/chain.json" \
-        -key "$WORK/deploy/server-$i.key" -fixed-noise >"$WORK/server-$i.log" 2>&1 &
+        -key "$WORK/deploy/server-$i.key" -fixed-noise \
+        -round-state "$WORK/deploy/server-$i.rounds" >"$WORK/server-$i.log" 2>&1 &
     PIDS+=($!)
 done
 "$WORK/bin/vuvuzela-entry" -chain "$WORK/deploy/chain.json" \
     -convo-interval 400ms -dial-interval 1s -submit-timeout 300ms \
-    -convo-window 2 >"$WORK/entry.log" 2>&1 &
+    -convo-window 2 -round-state "$WORK/deploy/entry.rounds" >"$WORK/entry.log" 2>&1 &
 PIDS+=($!)
 
 sleep 1

@@ -21,6 +21,7 @@ import (
 	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/dial"
 	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/roundstate"
 	"vuvuzela/internal/transport"
 	"vuvuzela/internal/wire"
 )
@@ -88,6 +89,17 @@ type Config struct {
 	// dialing rounds (§5.2, §8.3).
 	ConvoInterval time.Duration
 	DialInterval  time.Duration
+
+	// RoundState, if set, durably persists the announced round numbers
+	// (roundstate.ConvoCounter / roundstate.DialCounter), write-ahead: a
+	// round number is committed to disk BEFORE its announcement reaches a
+	// single client. A restarted coordinator seeded from the same store
+	// resumes numbering after the highest round it ever announced instead
+	// of re-issuing round 1 into a chain that already consumed it — with
+	// durable chain servers, a stateless entry restart would otherwise
+	// wedge on the chain's strictly-increasing round check forever
+	// (docs/THREAT_MODEL.md §3). New resumes the counters from the store.
+	RoundState *roundstate.Counters
 
 	// OnRoundError, if set, receives every round failure from timer mode
 	// (Start) — dial rounds included, whose errors were previously
@@ -235,13 +247,21 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.ConvoWindow > wire.MaxRoundsInFlight {
 		cfg.ConvoWindow = wire.MaxRoundsInFlight
 	}
-	return &Coordinator{
+	co := &Coordinator{
 		cfg:     cfg,
 		clients: make(map[*clientConn]struct{}),
 		pending: make(map[wire.Proto]*roundState),
 		chain:   make(map[wire.Proto]*wire.Conn),
 		closeCh: make(chan struct{}),
-	}, nil
+	}
+	if cfg.RoundState != nil {
+		// Resume numbering after the highest rounds a previous process
+		// announced: those round numbers are burned whether or not their
+		// batches ever reached the chain.
+		co.convoR = cfg.RoundState.Last(roundstate.ConvoCounter)
+		co.dialR = cfg.RoundState.Last(roundstate.DialCounter)
+	}
+	return co, nil
 }
 
 // NumClients returns the number of connected clients.
@@ -297,6 +317,21 @@ func (co *Coordinator) readLoop(cc *clientConn) {
 	}
 }
 
+// commitRound burns a round number durably before any client sees its
+// announcement (write-ahead). A commit failure fails the round — the
+// in-memory counter has already moved past the number, so the round is
+// skipped, never reused — and round numbering stays monotonic across a
+// crash at any instant.
+func (co *Coordinator) commitRound(counter string, round uint64) error {
+	if co.cfg.RoundState == nil {
+		return nil
+	}
+	if err := co.cfg.RoundState.Commit(counter, round); err != nil {
+		return fmt.Errorf("coordinator: cannot persist %s round %d: %w", counter, round, err)
+	}
+	return nil
+}
+
 // convoRound carries one conversation round between the pipeline stages:
 // collect → chain-RPC → reply-fanout.
 type convoRound struct {
@@ -313,6 +348,9 @@ func (co *Coordinator) collectConvo(ctx context.Context) (*convoRound, error) {
 	co.convoR++
 	cr := &convoRound{round: co.convoR}
 	co.mu.Unlock()
+	if err := co.commitRound(roundstate.ConvoCounter, cr.round); err != nil {
+		return cr, err
+	}
 
 	k := int(co.cfg.ConvoExchanges)
 	batch, clients, err := co.collect(ctx, wire.ProtoConvo, cr.round, co.cfg.ConvoExchanges, k)
@@ -444,8 +482,8 @@ type convoStageHooks struct {
 	// collector goroutine.
 	next func() bool
 	// onCollectErr receives a collection failure; false stops
-	// announcing. Collection fails only on context cancellation or
-	// coordinator close.
+	// announcing. Collection fails only on context cancellation,
+	// coordinator close, or a round-state commit failure.
 	onCollectErr func(round uint64, err error) bool
 	// onChainErr receives a chain failure; false aborts the chain stage
 	// (rounds already delivered still fan out), true skips the round
@@ -535,6 +573,9 @@ func (co *Coordinator) RunDialRound(ctx context.Context) (round uint64, particip
 	round = co.dialR
 	clients := len(co.clients)
 	co.mu.Unlock()
+	if err := co.commitRound(roundstate.DialCounter, round); err != nil {
+		return round, 0, err
+	}
 
 	m := co.cfg.DialBuckets
 	if co.cfg.AutoBuckets > 0 && co.cfg.AutoBucketsMu > 0 {
@@ -642,8 +683,11 @@ func (co *Coordinator) chainRPC(proto wire.Proto, round uint64, m uint32, batch 
 			if resp, err = conn.Recv(); err == nil {
 				if resp.Kind == wire.KindError && resp.Proto == proto && resp.Round == round {
 					// The chain received the round and rejected it; no
-					// point retrying the same round.
-					return nil, fmt.Errorf("coordinator: chain reported: %s", resp.ErrorString())
+					// point retrying the same round. The rejection string
+					// carries the failing hop's own report (a dead
+					// successor, a shard, a replay refusal), so surface it
+					// as a RemoteError the caller can classify.
+					return nil, &mixnet.RemoteError{Addr: co.cfg.ChainAddr, Msg: resp.ErrorString()}
 				}
 				if resp.Kind != wire.KindReplies || resp.Round != round {
 					return nil, fmt.Errorf("coordinator: unexpected chain response")
@@ -653,7 +697,7 @@ func (co *Coordinator) chainRPC(proto wire.Proto, round uint64, m uint32, batch 
 		}
 		co.dropChainConn(proto, conn)
 		if attempt == 1 {
-			return nil, fmt.Errorf("coordinator: chain rpc: %w", err)
+			return nil, fmt.Errorf("coordinator: chain rpc to %s: %w", co.cfg.ChainAddr, err)
 		}
 	}
 }
@@ -665,6 +709,13 @@ func (co *Coordinator) chainRPC(proto wire.Proto, round uint64, m uint32, batch 
 func (co *Coordinator) chainConn(proto wire.Proto) (*wire.Conn, error) {
 	co.chainMu.Lock()
 	defer co.chainMu.Unlock()
+	select {
+	case <-co.closeCh:
+		// A dead process makes no new connections: a round unwinding
+		// through a just-Closed coordinator must not redial the chain.
+		return nil, errors.New("coordinator: closed")
+	default:
+	}
 	if c := co.chain[proto]; c != nil {
 		return c, nil
 	}
@@ -737,7 +788,9 @@ func (co *Coordinator) convoPipeline(ctx context.Context) {
 			}
 		},
 		onCollectErr: func(round uint64, err error) bool {
-			// Collection fails only on shutdown.
+			// Collection fails only on shutdown or a round-state commit
+			// failure; the latter needs the operator (a broken disk), so
+			// stopping the pipeline is right either way.
 			co.reportRoundError(wire.ProtoConvo, round, err)
 			return false
 		},

@@ -1,11 +1,18 @@
-package coordinator
+package coordinator_test
+
+// These tests live in an external test package so they can use
+// sim.LeakCheck (the sim package imports coordinator): timer mode spins
+// up ticker loops, pipeline stages, client writers, and chain
+// connections, and every test here must leave none of them behind.
 
 import (
 	"context"
 	"testing"
 	"time"
 
+	"vuvuzela/internal/coordinator"
 	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/sim"
 	"vuvuzela/internal/transport"
 	"vuvuzela/internal/wire"
 )
@@ -29,8 +36,9 @@ type roundFailure struct {
 // both the dialing and conversation timers must report their round
 // errors through Config.OnRoundError instead of dropping them.
 func TestStartSurfacesDialRoundErrors(t *testing.T) {
+	defer sim.LeakCheck(t)()
 	failures := make(chan roundFailure, 16)
-	co, err := New(Config{
+	co, err := coordinator.New(coordinator.Config{
 		Net:           transport.NewMem(), // nothing listens: every chain RPC fails
 		ChainAddr:     "unreachable-chain",
 		ChainPub:      unreachableChainKey(),
@@ -83,6 +91,7 @@ func TestStartSurfacesDialRoundErrors(t *testing.T) {
 // old serial Start that is a deadlock (round 2 was only announced after
 // round 1 completed) and the test times out.
 func TestStartPipelinesConvoRounds(t *testing.T) {
+	defer sim.LeakCheck(t)()
 	chainNet := transport.NewMem()
 	chainPub, chainPriv := box.KeyPairFromSeed([]byte("pipeline-chain"))
 	chainL, err := chainNet.Listen("chain")
@@ -120,7 +129,7 @@ func TestStartPipelinesConvoRounds(t *testing.T) {
 		}
 	}()
 
-	co, err := New(Config{
+	co, err := coordinator.New(coordinator.Config{
 		Net:           chainNet,
 		ChainAddr:     "chain",
 		ChainPub:      chainPub,
@@ -220,7 +229,8 @@ func TestStartPipelinesConvoRounds(t *testing.T) {
 // TestStartNilCallbackStillTicks: without OnRoundError set, failing
 // timer rounds are still tolerated — the loop must not panic or stall.
 func TestStartNilCallbackStillTicks(t *testing.T) {
-	co, err := New(Config{
+	defer sim.LeakCheck(t)()
+	co, err := coordinator.New(coordinator.Config{
 		Net:           transport.NewMem(),
 		ChainAddr:     "unreachable-chain",
 		ChainPub:      unreachableChainKey(),

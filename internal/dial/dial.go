@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"math"
 
 	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/noise"
@@ -56,14 +57,21 @@ func BucketOf(pk *box.PublicKey, m uint32) uint32 {
 // fraction dialing per round, and µ the per-bucket noise mean — balancing
 // server cover-traffic cost against client download size so each bucket
 // carries roughly equal real and noise invitations. At small scale the
-// optimum collapses to a single bucket (§7).
+// optimum collapses to a single bucket (§7). Degenerate parameters (no
+// users, a non-positive or NaN µ or fraction) also yield one bucket,
+// and the result saturates at MaxUint32 — the conversion of an
+// out-of-range float to uint32 is otherwise unspecified, and the
+// coordinator feeds this straight into a round announcement.
 func OptimalBuckets(users int, dialingFraction, mu float64) uint32 {
-	if mu <= 0 {
+	if mu <= 0 || users <= 0 || dialingFraction <= 0 || math.IsNaN(mu) || math.IsNaN(dialingFraction) {
 		return 1
 	}
 	m := float64(users) * dialingFraction / mu
-	if m < 1 {
+	if m < 1 || math.IsNaN(m) {
 		return 1
+	}
+	if m >= float64(math.MaxUint32) {
+		return math.MaxUint32
 	}
 	return uint32(m)
 }

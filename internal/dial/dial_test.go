@@ -2,6 +2,7 @@ package dial
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -48,16 +49,56 @@ func TestBucketDistribution(t *testing.T) {
 }
 
 func TestOptimalBuckets(t *testing.T) {
-	// §8.1's configuration: 1M users, 5% dialing, µ=13,000 → m = 3.
-	if m := OptimalBuckets(1000000, 0.05, 13000); m != 3 {
-		t.Fatalf("OptimalBuckets(1M, 5%%, 13K) = %d, want 3", m)
+	// The coordinator calls this with whatever population and operator
+	// config it has and announces the result to every client, so every
+	// edge must produce a sane bucket count — never 0, never a wrapped
+	// float conversion.
+	cases := []struct {
+		name     string
+		users    int
+		fraction float64
+		mu       float64
+		want     uint32
+	}{
+		// §8.1's configuration: 1M users, 5% dialing, µ=13,000 → m = 3.
+		{"paper-config", 1000000, 0.05, 13000, 3},
+		// §7: at small scale the optimal number of dead drops is one.
+		{"small-scale", 100, 0.05, 13000, 1},
+		{"zero-everything", 0, 0, 0, 1},
+		// An entry with no clients yet still announces one bucket.
+		{"zero-clients", 0, 0.05, 13000, 1},
+		{"one-client", 1, 0.05, 13000, 1},
+		{"negative-clients", -5, 0.05, 13000, 1},
+		// Exactly at the m=1 boundary, and just either side of the
+		// floor between 2 and 3: uint32 truncation keeps the floor.
+		{"exactly-one", 13000, 1, 13000, 1},
+		{"just-below-three", 59999, 0.05, 1000, 2},  // m = 2.99995
+		{"exactly-three", 60000, 0.05, 1000, 3},     // m = 3.0
+		{"just-above-three", 60001, 0.05, 1000, 3},  // m = 3.00005
+		{"fraction-of-a-bucket", 25999, 0.05, 1300, 1}, // m = 0.99996
+		// Extreme µ: a huge noise mean collapses to one bucket; a tiny
+		// (or zero/negative/NaN) one must not wrap the uint32 conversion.
+		{"huge-mu", 1000000, 0.05, math.MaxFloat64, 1},
+		{"tiny-mu", 1000000, 1, 1e-9, math.MaxUint32},
+		{"zero-mu", 1000000, 0.05, 0, 1},
+		{"negative-mu", 1000000, 0.05, -13000, 1},
+		{"nan-mu", 1000000, 0.05, math.NaN(), 1},
+		{"inf-mu", 1000000, 0.05, math.Inf(1), 1},
+		{"nan-fraction", 1000000, math.NaN(), 13000, 1},
+		{"negative-fraction", 1000000, -0.05, 13000, 1},
+		// Over-unity fraction (operator typo) still saturates sanely.
+		{"overflowing-product", math.MaxInt32, 1e9, 1e-9, math.MaxUint32},
 	}
-	// §7: at small scale the optimal number of dead drops is one.
-	if m := OptimalBuckets(100, 0.05, 13000); m != 1 {
-		t.Fatalf("OptimalBuckets(100, ...) = %d, want 1", m)
-	}
-	if m := OptimalBuckets(0, 0, 0); m != 1 {
-		t.Fatalf("degenerate OptimalBuckets = %d, want 1", m)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := OptimalBuckets(c.users, c.fraction, c.mu)
+			if got != c.want {
+				t.Fatalf("OptimalBuckets(%d, %v, %v) = %d, want %d", c.users, c.fraction, c.mu, got, c.want)
+			}
+			if got == 0 {
+				t.Fatal("bucket count 0 would break BucketOf's modulus")
+			}
+		})
 	}
 }
 

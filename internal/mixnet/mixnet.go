@@ -30,6 +30,7 @@ import (
 	"vuvuzela/internal/noise"
 	"vuvuzela/internal/onion"
 	"vuvuzela/internal/parallel"
+	"vuvuzela/internal/roundstate"
 	"vuvuzela/internal/shuffle"
 	"vuvuzela/internal/transport"
 	"vuvuzela/internal/wire"
@@ -130,6 +131,18 @@ type Config struct {
 	// (needed by adversary simulations that replay rounds).
 	AllowRoundReuse bool
 
+	// RoundState, if set, durably persists the round counters behind the
+	// strictly-increasing check — the conversation and dialing protocols
+	// number rounds independently, so each gets its own named counter
+	// (roundstate.ConvoCounter / roundstate.DialCounter) in one file.
+	// Commits are write-ahead: a round is committed to disk BEFORE this
+	// server unwraps a single onion, so a restarted server seeded from
+	// the same store rejects every round the previous process consumed
+	// instead of re-running it with fresh noise (the §4.2 replay window;
+	// docs/THREAT_MODEL.md §3). NewServer resumes the counters from the
+	// store.
+	RoundState *roundstate.Counters
+
 	// ConvoObserver, if set on the last server, receives the observable
 	// variables of each conversation round — the histogram of dead-drop
 	// access counts (§4.2). It models what an adversary who compromised
@@ -149,6 +162,13 @@ type Server struct {
 	mu        sync.Mutex
 	lastRound map[wire.Proto]uint64
 	next      map[wire.Proto]*wire.Conn
+
+	// connMu tracks accepted connections so Close severs them — a
+	// "crashed" server must not keep serving rounds through connections
+	// accepted before the crash (the sim harnesses rely on Close being a
+	// faithful process kill).
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 
 	closed  sync.Once
 	closeCh chan struct{}
@@ -188,6 +208,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if !last && cfg.NextLocal == nil && (cfg.NextAddr == "" || cfg.Net == nil) {
 		return nil, ErrNoSuccessor
 	}
+	if cfg.AllowRoundReuse && cfg.RoundState != nil {
+		// Contradictory: with the round check disabled the store would
+		// never be written, while its presence tells the operator rounds
+		// are durably committed.
+		return nil, errors.New("mixnet: AllowRoundReuse together with a RoundState store — the store would silently never be written")
+	}
 	var router *ShardRouter
 	if len(cfg.ShardAddrs) > 0 {
 		if !last {
@@ -207,20 +233,55 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		router = r
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		last:      last,
 		router:    router,
 		lastRound: make(map[wire.Proto]uint64),
 		next:      make(map[wire.Proto]*wire.Conn),
+		conns:     make(map[net.Conn]struct{}),
 		closeCh:   make(chan struct{}),
-	}, nil
+	}
+	if cfg.RoundState != nil {
+		// Resume the replay counters a previous process committed: rounds
+		// consumed before the crash stay consumed.
+		s.lastRound[wire.ProtoConvo] = cfg.RoundState.Last(roundstate.ConvoCounter)
+		s.lastRound[wire.ProtoDial] = cfg.RoundState.Last(roundstate.DialCounter)
+	}
+	return s, nil
+}
+
+// LastRound reports the highest round this server has committed for
+// proto (from the durable store after a restart, when one is
+// configured).
+func (s *Server) LastRound(proto wire.Proto) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRound[proto]
+}
+
+// counterName maps a wire protocol onto its named counter in the
+// durable round-state file.
+func counterName(proto wire.Proto) string {
+	switch proto {
+	case wire.ProtoConvo:
+		return roundstate.ConvoCounter
+	case wire.ProtoDial:
+		return roundstate.DialCounter
+	default:
+		return fmt.Sprintf("proto-%d", byte(proto))
+	}
 }
 
 // IsLast reports whether this server holds the dead drops.
 func (s *Server) IsLast() bool { return s.last }
 
-// checkRound enforces strictly increasing rounds per protocol.
+// checkRound enforces strictly increasing rounds per protocol. With a
+// RoundState store the round is committed to disk write-ahead — BEFORE
+// any onion is unwrapped — so a crash at any later point leaves a
+// counter that rejects the round's replay; if the disk refuses, the
+// round fails without advancing the in-memory counter, and a healed
+// disk can still accept it.
 func (s *Server) checkRound(proto wire.Proto, round uint64) error {
 	if s.cfg.AllowRoundReuse {
 		return nil
@@ -229,6 +290,11 @@ func (s *Server) checkRound(proto wire.Proto, round uint64) error {
 	defer s.mu.Unlock()
 	if round <= s.lastRound[proto] {
 		return fmt.Errorf("%w: %d after %d", ErrRoundReplay, round, s.lastRound[proto])
+	}
+	if s.cfg.RoundState != nil {
+		if err := s.cfg.RoundState.Commit(counterName(proto), round); err != nil {
+			return fmt.Errorf("mixnet: server %d cannot persist round %d: %w", s.cfg.Position, round, err)
+		}
 	}
 	s.lastRound[proto] = round
 	return nil
@@ -480,6 +546,15 @@ func (s *Server) rpc(conn *wire.Conn, proto wire.Proto, round uint64, m uint32, 
 func (s *Server) nextConn(proto wire.Proto) (*wire.Conn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	select {
+	case <-s.closeCh:
+		// A dead process makes no new connections: without this, a round
+		// unwinding through a just-Closed server could redial the
+		// successor and replay into it (the successor's round check would
+		// reject it, but the crash simulation should never dial at all).
+		return nil, errors.New("mixnet: server closed")
+	default:
+	}
 	if c := s.next[proto]; c != nil {
 		return c, nil
 	}
@@ -569,6 +644,20 @@ func serveLoop(l net.Listener, closeCh <-chan struct{}, handle func(net.Conn)) e
 // unauthenticated phase is deadline-bounded by acceptSecure, exactly
 // like the shard servers.
 func (s *Server) handleConn(raw net.Conn) {
+	s.connMu.Lock()
+	if s.conns == nil {
+		// Closed before the handler ran.
+		s.connMu.Unlock()
+		raw.Close()
+		return
+	}
+	s.conns[raw] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, raw)
+		s.connMu.Unlock()
+	}()
 	var sc *transport.Secure
 	if s.cfg.Position == 0 {
 		sc = transport.SecureServerAny(raw, s.cfg.Priv)
@@ -614,8 +703,11 @@ func (s *Server) handleConn(raw net.Conn) {
 	}
 }
 
-// Close shuts down successor connections; a Serve loop returns after its
-// listener is closed by the caller.
+// Close shuts the server down like a process kill: successor and shard
+// connections are dropped, accepted connections are severed (a
+// "crashed" server must not keep serving rounds through connections
+// accepted before the crash), and no new successor dial will be made; a
+// Serve loop returns after its listener is closed by the caller.
 func (s *Server) Close() error {
 	s.closed.Do(func() {
 		close(s.closeCh)
@@ -623,11 +715,17 @@ func (s *Server) Close() error {
 			s.router.Close()
 		}
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		for proto, c := range s.next {
 			c.Close()
 			delete(s.next, proto)
 		}
+		s.mu.Unlock()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.conns = nil
+		s.connMu.Unlock()
 	})
 	return nil
 }

@@ -1,8 +1,9 @@
 package mixnet
 
-// Unit tests for the shard server's durable round counter: the process-
-// level crash/restart semantics, independent of the network (the sim
-// package drives the same path through a full chain).
+// Unit tests for the durable round counters of the shard server and the
+// chain server: the process-level crash/restart semantics, independent
+// of the network (the sim package drives the same paths through a full
+// chain).
 
 import (
 	"errors"
@@ -12,6 +13,7 @@ import (
 
 	"vuvuzela/internal/crypto/box"
 	"vuvuzela/internal/roundstate"
+	"vuvuzela/internal/wire"
 )
 
 func shardWithState(t *testing.T, store *roundstate.Store) *ShardServer {
@@ -103,5 +105,131 @@ func TestShardServerRoundStateWriteFailureAborts(t *testing.T) {
 	}
 	if got := ss.LastRound(); got != 0 {
 		t.Fatalf("in-memory counter advanced to %d past a failed commit", got)
+	}
+}
+
+// lastServerWithState builds a single-server chain (the server is last,
+// so rounds run fully in-process) over deterministic keys with the
+// given durable counter store.
+func lastServerWithState(t *testing.T, store *roundstate.Counters) *Server {
+	t.Helper()
+	pub, priv := box.KeyPairFromSeed([]byte("rs-chain"))
+	srv, err := NewServer(Config{
+		Position:   0,
+		ChainPubs:  []box.PublicKey{pub},
+		Priv:       priv,
+		RoundState: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestChainServerRoundStatePersists: a restarted chain server seeded
+// from the same counters file refuses every round the previous process
+// consumed — for both protocols independently — and accepts the next
+// ones, with no AllowRoundReuse involved.
+func TestChainServerRoundStatePersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "server-0.rounds")
+	store, err := roundstate.OpenCounters(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := lastServerWithState(t, store)
+	for _, r := range []uint64{1, 2} {
+		if _, err := srv.ConvoRound(r, nil); err != nil {
+			t.Fatalf("convo round %d: %v", r, err)
+		}
+	}
+	if err := srv.DialRound(1, 1, nil); err != nil {
+		t.Fatalf("dial round 1: %v", err)
+	}
+	if _, err := srv.ConvoRound(2, nil); !errors.Is(err, ErrRoundReplay) {
+		t.Fatalf("same-process convo replay: %v, want ErrRoundReplay", err)
+	}
+
+	// "Crash": release the dying process's advisory lock (implicit on
+	// real process death) and reopen the file as a fresh process would.
+	store.Close()
+	store2, err := roundstate.OpenCounters(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	srv2 := lastServerWithState(t, store2)
+	if got := srv2.LastRound(wire.ProtoConvo); got != 2 {
+		t.Fatalf("restarted server resumed convo at %d, want 2", got)
+	}
+	if got := srv2.LastRound(wire.ProtoDial); got != 1 {
+		t.Fatalf("restarted server resumed dial at %d, want 1", got)
+	}
+	for _, stale := range []uint64{1, 2} {
+		if _, err := srv2.ConvoRound(stale, nil); !errors.Is(err, ErrRoundReplay) {
+			t.Fatalf("post-restart convo replay of %d: %v, want ErrRoundReplay", stale, err)
+		}
+	}
+	if err := srv2.DialRound(1, 1, nil); !errors.Is(err, ErrRoundReplay) {
+		t.Fatalf("post-restart dial replay: %v, want ErrRoundReplay", err)
+	}
+	if _, err := srv2.ConvoRound(3, nil); err != nil {
+		t.Fatalf("convo round 3 after restart: %v", err)
+	}
+	if err := srv2.DialRound(2, 1, nil); err != nil {
+		t.Fatalf("dial round 2 after restart: %v", err)
+	}
+
+	// Control: a server without a store starts over — the window
+	// persistence closes.
+	srv3 := lastServerWithState(t, nil)
+	if _, err := srv3.ConvoRound(1, nil); err != nil {
+		t.Fatalf("memory-only server rejected round 1 after 'restart': %v", err)
+	}
+}
+
+// TestChainServerRoundStateWriteFailureAborts: if a chain server cannot
+// commit the round counter, the round fails before any onion is
+// unwrapped and the in-memory counter does not advance past what the
+// disk recorded.
+func TestChainServerRoundStateWriteFailureAborts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	store, err := roundstate.OpenCounters(filepath.Join(dir, "server-0.rounds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := lastServerWithState(t, store)
+	if _, err := srv.ConvoRound(1, nil); err == nil {
+		t.Fatal("round processed without a durable commit")
+	}
+	if got := srv.LastRound(wire.ProtoConvo); got != 0 {
+		t.Fatalf("in-memory counter advanced to %d past a failed commit", got)
+	}
+}
+
+// TestNewServerRejectsReuseWithState: AllowRoundReuse and a RoundState
+// store contradict each other and are refused at construction, exactly
+// as on the shard server.
+func TestNewServerRejectsReuseWithState(t *testing.T) {
+	store, err := roundstate.OpenCounters(filepath.Join(t.TempDir(), "r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	pub, priv := box.KeyPairFromSeed([]byte("rs-conflict"))
+	if _, err := NewServer(Config{
+		Position:        0,
+		ChainPubs:       []box.PublicKey{pub},
+		Priv:            priv,
+		AllowRoundReuse: true,
+		RoundState:      store,
+	}); err == nil {
+		t.Fatal("NewServer accepted AllowRoundReuse together with a RoundState store")
 	}
 }

@@ -321,8 +321,9 @@ type RouterConfig struct {
 type ShardRouter struct {
 	cfg RouterConfig
 
-	mu    sync.Mutex
-	conns map[int]*shardConn
+	mu     sync.Mutex
+	conns  map[int]*shardConn
+	closed bool
 }
 
 // shardConn pairs the framed connection with the secured one so
@@ -567,6 +568,12 @@ func (r *ShardRouter) recvReply(s int, conn *shardConn, round uint64, want int) 
 // regardless of Timeout.
 func (r *ShardRouter) conn(s int) (*shardConn, error) {
 	r.mu.Lock()
+	if r.closed {
+		// A dead process makes no new connections — a round unwinding
+		// through a just-Closed router must not redial its shards.
+		r.mu.Unlock()
+		return nil, errors.New("shard router closed")
+	}
 	if c := r.conns[s]; c != nil {
 		r.mu.Unlock()
 		return c, nil
@@ -581,6 +588,10 @@ func (r *ShardRouter) conn(s int) (*shardConn, error) {
 	c := &shardConn{raw: sec, c: wire.NewConn(sec)}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		sec.Close()
+		return nil, errors.New("shard router closed")
+	}
 	if existing := r.conns[s]; existing != nil {
 		// Lost a race with a concurrent dial to the same shard.
 		sec.Close()
@@ -631,10 +642,11 @@ func (r *ShardRouter) drop(s int, conn *shardConn) {
 	}
 }
 
-// Close drops all shard connections.
+// Close drops all shard connections and refuses new dials.
 func (r *ShardRouter) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.closed = true
 	for s, c := range r.conns {
 		c.c.Close()
 		delete(r.conns, s)

@@ -1,23 +1,29 @@
 // Package roundstate durably persists a server's last-committed round
-// counter, so a restarted process rejoins the chain with its replay
+// counters, so a restarted process rejoins the chain with its replay
 // protection intact instead of falling back to AllowRoundReuse.
 //
-// The mixnet's safety against round replay (a shard must never run the
-// same round's dead-drop exchange twice — docs/THREAT_MODEL.md) rests on
+// The mixnet's safety against round replay (a server must never process
+// the same round twice with fresh noise — docs/THREAT_MODEL.md) rests on
 // a strictly-increasing round check that PR 2 kept only in memory: any
 // crash reset it to zero, and the recovering operator had to choose
 // between refusing all traffic and disabling the check. This package
 // closes that gap with the smallest possible durable store: one file
-// holding one decimal counter, updated write-ahead (the round number is
-// committed to disk BEFORE the exchange runs, so a crash mid-round can
-// only lose a round, never replay one) via the classic
+// holding decimal counters, updated write-ahead (the round number is
+// committed to disk BEFORE the round's work runs, so a crash mid-round
+// can only lose a round, never replay one) via the classic
 // write-temp → fsync → rename → fsync-dir sequence, which is atomic on
-// POSIX filesystems — a torn write leaves the previous counter, never a
-// corrupt or regressed one. An advisory flock on a sidecar .lock file
+// POSIX filesystems — a torn write leaves the previous counters, never
+// corrupt or regressed ones. An advisory flock on a sidecar .lock file
 // guards against two live processes sharing one counter (e.g. a
-// supervisor starting the replacement shard before the old process
+// supervisor starting the replacement server before the old process
 // exits): the second Open fails loudly instead of both processes
 // accepting the same round.
+//
+// Two store shapes share that machinery: Store holds a single counter
+// (a dead-drop shard runs only the conversation exchange), and Counters
+// holds independent named counters in one file (a chain server and the
+// coordinator each track the conversation and dialing protocols
+// separately).
 package roundstate
 
 import (
@@ -25,9 +31,86 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
+
+// ConvoCounter names the conversation-protocol round counter inside a
+// Counters file — the name mixnet servers and the coordinator use for
+// wire.ProtoConvo rounds.
+const ConvoCounter = "convo"
+
+// DialCounter names the dialing-protocol round counter inside a
+// Counters file — the name mixnet servers and the coordinator use for
+// wire.ProtoDial rounds.
+const DialCounter = "dial"
+
+// openLock takes the exclusive advisory lock guarding path, so a second
+// process (or a second store in this process) pointed at the same
+// counter file fails instead of both passing the replay check for the
+// same round.
+func openLock(path string) (*os.File, error) {
+	lock, err := os.OpenFile(path+".lock", os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("roundstate: %w", err)
+	}
+	if err := lockFile(lock); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("roundstate: %s is held by another live process (flock: %w) — two servers must never share a round counter", path, err)
+	}
+	return lock, nil
+}
+
+// writeAtomic durably replaces path with data: every step of the
+// temp-write → fsync → rename → directory-fsync sequence must succeed,
+// or the error propagates and the previous contents stay visible — a
+// crash at any point exposes either the old file or the new one, never
+// an empty or torn one.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("roundstate: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("roundstate: writing %s: %w", tmp, err)
+	}
+	// fsync the data before the rename: rename-then-crash must expose
+	// the new contents or the old ones, never an empty file.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("roundstate: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("roundstate: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("roundstate: %w", err)
+	}
+	// fsync the directory so the rename itself survives a crash. A
+	// failure here means the commit may not be durable yet, so it must
+	// fail the round like any other step — returning nil would let the
+	// round run on a counter that can still be lost.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("roundstate: syncing directory of %s: %w", path, err)
+	}
+	if err := dir.Sync(); err != nil {
+		dir.Close()
+		return fmt.Errorf("roundstate: syncing directory of %s: %w", path, err)
+	}
+	if err := dir.Close(); err != nil {
+		return fmt.Errorf("roundstate: syncing directory of %s: %w", path, err)
+	}
+	return nil
+}
 
 // Store persists a monotonically increasing round counter in a single
 // file, exclusively held by this process until Close (or process exit)
@@ -43,20 +126,14 @@ type Store struct {
 
 // Open reads the counter at path, creating the state lazily on first
 // Commit if the file does not exist yet, and takes an exclusive
-// advisory lock on path.lock for the Store's lifetime — a second
-// process (or a second Store in this process) pointed at the same path
-// fails here instead of both passing the replay check for the same
-// round. A counter file that exists but does not parse is an error, not
-// a zero counter: silently resetting the counter is exactly the replay
-// window the store exists to close.
+// advisory lock on path.lock for the Store's lifetime. A counter file
+// that exists but does not parse is an error, not a zero counter:
+// silently resetting the counter is exactly the replay window the store
+// exists to close.
 func Open(path string) (*Store, error) {
-	lock, err := os.OpenFile(path+".lock", os.O_CREATE|os.O_RDWR, 0o600)
+	lock, err := openLock(path)
 	if err != nil {
-		return nil, fmt.Errorf("roundstate: %w", err)
-	}
-	if err := lockFile(lock); err != nil {
-		lock.Close()
-		return nil, fmt.Errorf("roundstate: %s is held by another live process (flock: %w) — two shards must never share a round counter", path, err)
+		return nil, err
 	}
 	s := &Store{path: path, lock: lock}
 	data, err := os.ReadFile(path)
@@ -102,12 +179,10 @@ func (s *Store) Last() uint64 {
 
 // Commit durably records round as consumed. Callers invoke it BEFORE
 // acting on the round (write-ahead): once Commit returns nil, a crash
-// at any later point leaves a counter that rejects the round's replay —
-// every step of the temp-write → fsync → rename → directory-fsync
-// sequence must succeed, or the error propagates and the in-memory
-// counter stays put (a retry of the same round re-commits harmlessly).
-// A round at or below the committed counter is a no-op; the counter
-// never moves backwards.
+// at any later point leaves a counter that rejects the round's replay.
+// On failure the in-memory counter stays put (a retry of the same round
+// re-commits harmlessly). A round at or below the committed counter is
+// a no-op; the counter never moves backwards.
 func (s *Store) Commit(round uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -117,46 +192,162 @@ func (s *Store) Commit(round uint64) error {
 	if s.lock == nil {
 		return fmt.Errorf("roundstate: %s is closed", s.path)
 	}
-	tmp := s.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
-	if err != nil {
-		return fmt.Errorf("roundstate: %w", err)
-	}
-	if _, err := fmt.Fprintf(f, "%d\n", round); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("roundstate: writing %s: %w", tmp, err)
-	}
-	// fsync the data before the rename: rename-then-crash must expose
-	// the new counter or the old one, never an empty file.
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("roundstate: syncing %s: %w", tmp, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("roundstate: closing %s: %w", tmp, err)
-	}
-	if err := os.Rename(tmp, s.path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("roundstate: %w", err)
-	}
-	// fsync the directory so the rename itself survives a crash. A
-	// failure here means the commit may not be durable yet, so it must
-	// fail the round like any other step — returning nil would let the
-	// exchange run on a counter that can still be lost.
-	dir, err := os.Open(filepath.Dir(s.path))
-	if err != nil {
-		return fmt.Errorf("roundstate: syncing directory of %s: %w", s.path, err)
-	}
-	if err := dir.Sync(); err != nil {
-		dir.Close()
-		return fmt.Errorf("roundstate: syncing directory of %s: %w", s.path, err)
-	}
-	if err := dir.Close(); err != nil {
-		return fmt.Errorf("roundstate: syncing directory of %s: %w", s.path, err)
+	if err := writeAtomic(s.path, []byte(fmt.Sprintf("%d\n", round))); err != nil {
+		return err
 	}
 	s.last = round
+	return nil
+}
+
+// Counters persists independent monotonically increasing round counters
+// — one per name — in a single file, exclusively held by this process
+// until Close releases the advisory lock. A chain server keeps its
+// conversation and dialing counters here (the two protocols number
+// rounds independently), and the coordinator keeps the round numbers it
+// has announced. Safe for concurrent use within the process; Commit
+// serializes internally.
+type Counters struct {
+	path string
+	lock *os.File
+
+	mu   sync.Mutex
+	last map[string]uint64
+}
+
+// OpenCounters reads the named counters at path, creating the state
+// lazily on first Commit if the file does not exist yet, and takes an
+// exclusive advisory lock on path.lock for the store's lifetime. A file
+// that exists but does not parse — a corrupt value, a duplicated or
+// malformed name, trailing bytes — is an error, never a zero counter.
+func OpenCounters(path string) (*Counters, error) {
+	lock, err := openLock(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &Counters{path: path, lock: lock, last: make(map[string]uint64)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("roundstate: reading %s: %w", path, err)
+	}
+	last, perr := parseCounters(data)
+	if perr != nil {
+		c.Close()
+		return nil, fmt.Errorf("roundstate: %s is corrupt (%v): refusing to reset the replay counters", path, perr)
+	}
+	c.last = last
+	return c, nil
+}
+
+// parseCounters decodes the Counters file format: zero or more
+// newline-terminated "name value" lines, names unique and free of
+// whitespace, values decimal uint64. Anything else is corruption — the
+// caller refuses the file rather than guessing.
+func parseCounters(data []byte) (map[string]uint64, error) {
+	last := make(map[string]uint64)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("unterminated final line %q", data)
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		name, value, ok := strings.Cut(string(line), " ")
+		if !ok || !validCounterName(name) {
+			return nil, fmt.Errorf("malformed line %q", line)
+		}
+		if _, dup := last[name]; dup {
+			return nil, fmt.Errorf("duplicate counter %q", name)
+		}
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("counter %q has non-decimal value %q", name, value)
+		}
+		last[name] = n
+	}
+	return last, nil
+}
+
+// validCounterName accepts non-empty names with no whitespace or
+// control bytes — the file format's one structural requirement.
+func validCounterName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] <= ' ' || name[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns the backing file's path.
+func (c *Counters) Path() string { return c.path }
+
+// Close releases the advisory lock so another process (or a reopened
+// store) may take over the counters. A crashed process releases it
+// implicitly. Close does not remove the counter file.
+func (c *Counters) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lock == nil {
+		return nil
+	}
+	err := c.lock.Close()
+	c.lock = nil
+	return err
+}
+
+// Last returns the highest round committed under name (0 if none).
+func (c *Counters) Last(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last[name]
+}
+
+// Commit durably records round as consumed under name, leaving every
+// other counter untouched. Callers invoke it BEFORE acting on the round
+// (write-ahead), exactly as Store.Commit: once it returns nil, a crash
+// at any later point leaves counters that reject the round's replay; on
+// failure nothing advances. A round at or below the committed counter
+// is a no-op; counters never move backwards.
+func (c *Counters) Commit(name string, round uint64) error {
+	if !validCounterName(name) {
+		return fmt.Errorf("roundstate: invalid counter name %q", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if round <= c.last[name] {
+		return nil
+	}
+	if c.lock == nil {
+		return fmt.Errorf("roundstate: %s is closed", c.path)
+	}
+	names := make([]string, 0, len(c.last)+1)
+	seen := false
+	for n := range c.last {
+		names = append(names, n)
+		seen = seen || n == name
+	}
+	if !seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	for _, n := range names {
+		v := c.last[n]
+		if n == name {
+			v = round
+		}
+		fmt.Fprintf(&buf, "%s %d\n", n, v)
+	}
+	if err := writeAtomic(c.path, buf.Bytes()); err != nil {
+		return err
+	}
+	c.last[name] = round
 	return nil
 }
