@@ -60,6 +60,7 @@ func main() {
 		Pub:       box.PublicKey(me.PublicKey),
 		Priv:      box.PrivateKey(me.PrivateKey),
 		ChainPubs: chain.PublicKeys(),
+		//vuvuzela:allow plaintexttransport the entry and CDN legs carry only onion-sealed requests and public bucket data; the entry server is untrusted (docs/THREAT_MODEL.md §2)
 		Net:       transport.TCP{},
 		EntryAddr: chain.EntryAddr,
 		CDNAddr:   chain.CDNAddr(),

@@ -108,7 +108,8 @@ func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, worke
 		DialNoise:  dialNoise,
 		Workers:    workers,
 		Shards:     shards,
-		Net:        transport.TCP{},
+		//vuvuzela:allow plaintexttransport substrate only: mixnet wraps every successor and shard dial in transport.SecureClient
+		Net: transport.TCP{},
 	}
 	last := pos == len(chain.Servers)-1
 	var store *cdn.Store
@@ -144,6 +145,7 @@ func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, worke
 	}
 
 	if last && chain.CDNAddr() != "" {
+		//vuvuzela:allow plaintexttransport the CDN serves public invitation buckets; there is nothing confidential on this leg
 		cdnL, err := transport.TCP{}.Listen(chain.CDNAddr())
 		if err != nil {
 			log.Fatal(err)
@@ -156,6 +158,7 @@ func runChain(chain *config.Chain, key *config.ServerKey, fixedNoise bool, worke
 		log.Printf("serving invitation buckets on %s", chain.CDNAddr())
 	}
 
+	//vuvuzela:allow plaintexttransport substrate only: mixnet.Serve wraps every accepted connection in transport.Secure before parsing a frame
 	l, err := transport.TCP{}.Listen(chain.Servers[pos].Addr)
 	if err != nil {
 		log.Fatal(err)
@@ -213,6 +216,7 @@ func runShard(chain *config.Chain, key *config.ServerKey, index, workers, subsha
 	if err != nil {
 		log.Fatal(err)
 	}
+	//vuvuzela:allow plaintexttransport substrate only: ShardServer.Serve wraps every accepted connection in transport.SecureServer keyed to the authorized routers
 	l, err := transport.TCP{}.Listen(chain.Shards[index].Addr)
 	if err != nil {
 		log.Fatal(err)

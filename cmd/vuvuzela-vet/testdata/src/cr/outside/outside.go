@@ -1,0 +1,9 @@
+// Package outside is the cryptorand negative fixture: math/rand in a
+// package outside the security-critical set (benchmarks, examples,
+// simulations) is not a finding.
+package outside
+
+import "math/rand"
+
+// Jitter is a benchmark-style use of a seeded PRNG.
+func Jitter() int { return rand.Intn(10) }

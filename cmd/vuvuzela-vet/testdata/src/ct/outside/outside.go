@@ -1,0 +1,10 @@
+// Package outside is the consttime negative fixture: key comparisons
+// in packages outside internal/crypto, internal/transport, and
+// internal/wire are someone else's invariant (and typically test
+// plumbing), so the analyzer stays silent.
+package outside
+
+import "bytes"
+
+// SameKey compares key material outside the analyzer's scope.
+func SameKey(key1, key2 []byte) bool { return bytes.Equal(key1, key2) }

@@ -1,0 +1,42 @@
+package bad //want:doccov `package bad is missing a doc comment`
+
+// The directive expectation form (want:doccov, no space around the colon) is used
+// throughout this fixture because a plain trailing comment would
+// itself count as documentation of the declaration it sits on;
+// directives are stripped from godoc text.
+
+// documentedConst shows that unexported identifiers are exempt.
+const documentedConst = 1
+
+// MaxRounds is documented and therefore quiet.
+const MaxRounds = 16
+
+const BadConst = 2 //want:doccov `const BadConst is missing a doc comment`
+
+var BadVar int //want:doccov `var BadVar is missing a doc comment`
+
+type BadType struct { //want:doccov `type BadType is missing a doc comment`
+	// Round is documented.
+	Round uint32
+	Addr  string //want:doccov `field BadType.Addr is missing a doc comment`
+	depth int
+}
+
+// Service is documented, but its innards are still checked.
+type Service interface {
+	// Process is documented.
+	Process() error
+	Close() error //want:doccov `interface method Service.Close is missing a doc comment`
+}
+
+func BadFunc() {} //want:doccov `func BadFunc is missing a doc comment`
+
+// Method docs are required on exported receivers.
+func (b *BadType) Documented() {}
+
+func (b *BadType) Bad() {} //want:doccov `method Bad is missing a doc comment`
+
+type hidden struct{}
+
+// methods on unexported types are not godoc surface.
+func (hidden) Exported() {}

@@ -1,0 +1,8 @@
+// Package outside is the errclass negative fixture: flattening an
+// error outside the classification packages is not a finding.
+package outside
+
+import "fmt"
+
+// Flatten renders an error to text outside the analyzer's scope.
+func Flatten(err error) error { return fmt.Errorf("oops: %v", err) }

@@ -1,0 +1,33 @@
+// Package allowed is the plaintexttransport allowlist fixture: a
+// justified entry suppresses silently (in both sanctioned placements),
+// while a stale entry and one naming an unknown analyzer are findings
+// of their own. (The reason-less form cannot host an expectation — its
+// text would parse as the reason — so it is covered by the unit tests
+// in internal/vet/analysis.)
+package allowed
+
+import "vuvuzela/internal/transport"
+
+// Wrap is the sanctioned construction-site pattern used by the cmd/
+// binaries — same-line placement.
+func Wrap() transport.Network {
+	return transport.TCP{} //vuvuzela:allow plaintexttransport substrate handed straight to the secure wrapper in this fixture
+}
+
+// WrapAbove is the same pattern with the comment-above placement.
+func WrapAbove() transport.Network {
+	//vuvuzela:allow plaintexttransport substrate handed straight to the secure wrapper in this fixture
+	return transport.TCP{}
+}
+
+// Stale carries an allow that suppresses nothing.
+func Stale() {
+	//vuvuzela:allow plaintexttransport nothing on this line or the next can trip the analyzer // want `unused allowlist entry for plaintexttransport`
+	_ = 0
+}
+
+// Unknown shows that the analyzer name is validated.
+func Unknown() {
+	//vuvuzela:allow nosuchanalyzer typos must not suppress anything // want `allowlist comment names unknown analyzer "nosuchanalyzer"`
+	_ = 0
+}

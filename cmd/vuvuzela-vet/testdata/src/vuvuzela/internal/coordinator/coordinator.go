@@ -1,0 +1,11 @@
+// Package coordinator is the errclass allowlist fixture: a justified
+// suppression for a deliberately terminal formatting site.
+package coordinator
+
+import "fmt"
+
+// Summarize renders an error for a log line that is never unwrapped.
+func Summarize(err error) error {
+	//vuvuzela:allow errclass fixture: terminal log rendering, chain intentionally severed
+	return fmt.Errorf("round abandoned: %v", err)
+}

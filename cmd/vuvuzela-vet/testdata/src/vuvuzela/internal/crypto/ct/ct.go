@@ -1,0 +1,61 @@
+// Package ct is the consttime strict-mode fixture: under internal/
+// crypto every byte-sequence comparison is suspect unless the operands
+// are declared public, while integer/length comparisons and
+// crypto/subtle stay quiet.
+package ct
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"reflect"
+)
+
+// PublicKey is a public identity; comparing these is not a secret leak.
+type PublicKey [32]byte
+
+// PrivateKey is secret key material.
+type PrivateKey [32]byte
+
+// Verify exercises the flagged comparison forms.
+func Verify(mac1, mac2 []byte, out, zero [32]byte, priv, priv2 PrivateKey) bool {
+	if bytes.Equal(mac1, mac2) { // want `bytes.Equal on mac1 is not constant-time`
+		return true
+	}
+	if out == zero { // want `== on out is not constant-time`
+		return true
+	}
+	if priv != priv2 { // want `!= on priv is not constant-time`
+		return true
+	}
+	if reflect.DeepEqual(mac1, mac2) { // want `reflect.DeepEqual on mac1 is not constant-time`
+		return true
+	}
+	return false
+}
+
+// Fine exercises the shapes that must not be flagged.
+func Fine(mac1, mac2 []byte, pub, pub2 PublicKey, version byte) bool {
+	if subtle.ConstantTimeCompare(mac1, mac2) == 1 {
+		return true
+	}
+	if pub == pub2 { // public material: identity checks are fine
+		return true
+	}
+	if pub == (PublicKey{}) { // zero-key refusal on public material
+		return true
+	}
+	if len(mac1) != len(mac2) { // lengths are not secret
+		return true
+	}
+	if version != 1 { // single octets are framing, not material
+		return true
+	}
+	var err error
+	return err == nil && mac1 != nil
+}
+
+// Allowed shows a justified strict-mode suppression.
+func Allowed(transcript, expected []byte) bool {
+	//vuvuzela:allow consttime fixture: transcript is attacker-supplied and public by construction
+	return bytes.Equal(transcript, expected)
+}

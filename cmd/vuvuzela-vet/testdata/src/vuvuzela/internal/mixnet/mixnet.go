@@ -1,0 +1,49 @@
+// Package mixnet is the errclass positive fixture: in the packages
+// that classify round failures, fmt.Errorf must wrap error operands
+// with %w — %v and %s flatten the chain and break errors.As on
+// *mixnet.RemoteError.
+package mixnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RemoteError marks a failure already charged to a consumed round.
+type RemoteError struct {
+	// Addr names the failing hop.
+	Addr string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Addr + ": remote failure" }
+
+// Wrap exercises the flagged and unflagged wrapping forms.
+func Wrap(err error, re *RemoteError, addr string, n int) error {
+	if err != nil {
+		return fmt.Errorf("forwarding to %s: %v", addr, err) // want `fmt.Errorf %v flattens this error to text`
+	}
+	if re != nil {
+		return fmt.Errorf("chain hop: %s", re) // want `fmt.Errorf %s flattens this error to text`
+	}
+	if n > 0 {
+		return fmt.Errorf("padded %*d: %v", 8, n, err) // want `fmt.Errorf %v flattens this error to text`
+	}
+	return fmt.Errorf("indexed: %[2]v", n, err) // want `fmt.Errorf %v flattens this error to text`
+}
+
+// Fine exercises the forms that must stay quiet: %w on errors, %v on
+// non-errors, dynamic formats, and out-of-range verbs.
+func Fine(err error, addr string, args []any) error {
+	if err != nil {
+		return fmt.Errorf("forwarding to %s: %w", addr, err)
+	}
+	if errors.Is(err, errSentinel) {
+		return fmt.Errorf("round %d at %v: %w", 3, addr, err)
+	}
+	format := "dynamic: %v"
+	return fmt.Errorf(format, err)
+}
+
+// errSentinel anchors the errors.Is call above.
+var errSentinel = errors.New("sentinel")

@@ -1,0 +1,14 @@
+// Package noise is the cryptorand positive fixture: its import path
+// puts it in the security-critical set, so both PRNG generations of
+// math/rand are findings.
+package noise
+
+import (
+	mrand "math/rand"    // want `math/rand is not a CSPRNG; noise must draw randomness from crypto/rand`
+	rand2 "math/rand/v2" // want `math/rand/v2 is not a CSPRNG; noise must draw randomness from crypto/rand`
+)
+
+// Laplace pretends to sample noise from a predictable source.
+func Laplace() float64 {
+	return mrand.Float64() + rand2.Float64()
+}

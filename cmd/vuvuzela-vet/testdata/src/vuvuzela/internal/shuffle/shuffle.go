@@ -1,0 +1,12 @@
+// Package shuffle is the cryptorand allowlist fixture: an in-scope
+// package whose math/rand import carries a justified suppression, so
+// the analyzer stays silent and the entry counts as used.
+package shuffle
+
+//vuvuzela:allow cryptorand fixture: deterministic replay harness, seeded and never used for mixing
+import mrand "math/rand"
+
+// Replay drives a deterministic permutation for the fixture.
+func Replay(seed int64) int {
+	return mrand.New(mrand.NewSource(seed)).Int()
+}

@@ -1,0 +1,25 @@
+// Package sim is the fixture stand-in for vuvuzela/internal/sim, the
+// in-memory test network: the second package tree plaintexttransport
+// exempts. Nothing in this file may produce a finding.
+package sim
+
+import (
+	"net"
+
+	"vuvuzela/internal/transport"
+)
+
+// Harness wires fixtures together over raw listeners.
+type Harness struct {
+	// Net is the substrate under test.
+	Net transport.Network
+}
+
+// Boot constructs plaintext paths freely: sim is exempt.
+func Boot() (net.Listener, error) {
+	h := Harness{Net: transport.TCP{}}
+	if _, err := h.Net.Dial("peer"); err != nil {
+		return nil, err
+	}
+	return net.Listen("tcp", "127.0.0.1:0")
+}

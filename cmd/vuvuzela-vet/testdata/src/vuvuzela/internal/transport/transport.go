@@ -1,0 +1,27 @@
+// Package transport is the fixture stand-in for the real
+// vuvuzela/internal/transport: it defines the TCP substrate and the
+// Network interface so other fixtures can construct and reference them.
+// Because its import path IS the transport package, plaintexttransport
+// must stay silent here even though it touches raw sockets — this file
+// doubles as the analyzer's exemption fixture.
+package transport
+
+import "net"
+
+// Network is the byte-stream substrate interface.
+type Network interface {
+	// Listen binds addr.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to addr.
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the plaintext production substrate.
+type TCP struct{}
+
+// Listen implements Network. Raw net.Listen is the point of this
+// package; the analyzer exempts it by import path, not by allowlist.
+func (TCP) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// Dial implements Network.
+func (TCP) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

@@ -1,0 +1,33 @@
+// Package wire is the consttime marker-mode fixture: outside internal/
+// crypto only operands whose name or type marks them as secret material
+// are flagged, so routine frame-field equality stays quiet.
+package wire
+
+import "bytes"
+
+// Message is a decoded frame.
+type Message struct {
+	// Kind tags the frame type.
+	Kind uint32
+	// AuthTag authenticates the frame.
+	AuthTag []byte
+	// Body is the payload.
+	Body []byte
+}
+
+// SessionKey is secret key material carried by the handshake.
+type SessionKey [32]byte
+
+// Check exercises marker-mode hits and misses.
+func Check(m *Message, wantTag []byte, k1, k2 SessionKey, other uint32, payload []byte) bool {
+	if bytes.Equal(m.AuthTag, wantTag) { // want `bytes.Equal on m.AuthTag is not constant-time`
+		return true
+	}
+	if k1 == k2 { // want `== on k1 is not constant-time`
+		return true
+	}
+	if m.Kind != other { // integers are not material
+		return true
+	}
+	return bytes.Equal(m.Body, payload) // unmarked payload bytes: quiet
+}

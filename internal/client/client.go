@@ -25,19 +25,21 @@ import (
 
 // Config describes a client.
 type Config struct {
-	// Pub and Priv are the user's long-term keys.
-	Pub  box.PublicKey
+	// Pub is the user's long-term public key.
+	Pub box.PublicKey
+	// Priv is the user's long-term private key.
 	Priv box.PrivateKey
 
 	// ChainPubs are the server chain's public keys, known ahead of time
 	// (§3).
 	ChainPubs []box.PublicKey
 
-	// Net, EntryAddr, and CDNAddr locate the entry server and the
-	// invitation CDN.
-	Net       transport.Network
+	// Net is the transport used to reach the entry server and CDN.
+	Net transport.Network
+	// EntryAddr is the entry server's listen address.
 	EntryAddr string
-	CDNAddr   string
+	// CDNAddr is the invitation CDN's listen address.
+	CDNAddr string
 
 	// EventBuf sizes the event channel (default 256).
 	EventBuf int
@@ -56,33 +58,33 @@ type Event interface{ isEvent() }
 
 // MessageEvent delivers an in-order conversation message from the peer.
 type MessageEvent struct {
-	Peer  box.PublicKey
-	Text  string
-	Round uint64
+	Peer  box.PublicKey // the conversation partner's long-term public key
+	Text  string        // the decrypted message body
+	Round uint64        // the conversation round the message arrived in
 }
 
 // InvitationEvent reports an incoming call found in the user's invitation
 // dead drop.
 type InvitationEvent struct {
-	From  box.PublicKey
-	Round uint64
+	From  box.PublicKey // the caller's long-term public key
+	Round uint64        // the dialing round the invitation was found in
 }
 
 // ConvoRoundEvent reports that a conversation round completed (useful for
 // pacing in tests and UIs).
 type ConvoRoundEvent struct {
-	Round uint64
+	Round uint64 // the completed conversation round
 }
 
 // DialRoundEvent reports that a dialing round completed and its bucket was
 // scanned.
 type DialRoundEvent struct {
-	Round uint64
+	Round uint64 // the completed dialing round
 }
 
 // ErrorEvent reports a background failure (connection loss etc.).
 type ErrorEvent struct {
-	Err error
+	Err error // the failure; the client keeps running where it can
 }
 
 func (MessageEvent) isEvent()    {}
@@ -146,11 +148,14 @@ type Client struct {
 	cdnConn *wire.Conn
 }
 
-// Errors.
 var (
-	ErrNoConversation       = errors.New("client: no active conversation")
+	// ErrNoConversation is returned by Send when no conversation is active.
+	ErrNoConversation = errors.New("client: no active conversation")
+	// ErrTooManyConversations is returned when activating another
+	// conversation would exceed the MaxConversations cap.
 	ErrTooManyConversations = errors.New("client: conversation limit reached; end one first")
-	ErrClosed               = errors.New("client: closed")
+	// ErrClosed is returned once the client has been closed.
+	ErrClosed = errors.New("client: closed")
 )
 
 // Dial connects to the entry server and starts the client loop.

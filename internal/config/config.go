@@ -65,13 +65,17 @@ type Chain struct {
 	// and later encrypt the router↔shard leg). Clients never see shard
 	// servers; only the last server's fan-out uses this list.
 	Shards []Server `json:"shards,omitempty"`
-	// ConvoNoiseMu/B are the conversation noise parameters each mixing
-	// server applies.
+	// ConvoNoiseMu is the location of the conversation noise
+	// distribution each mixing server draws from.
 	ConvoNoiseMu float64 `json:"convo_noise_mu"`
-	ConvoNoiseB  float64 `json:"convo_noise_b"`
-	// DialNoiseMu/B are the per-bucket dialing noise parameters.
+	// ConvoNoiseB is the scale of the conversation noise distribution.
+	ConvoNoiseB float64 `json:"convo_noise_b"`
+	// DialNoiseMu is the location of the per-bucket dialing noise
+	// distribution.
 	DialNoiseMu float64 `json:"dial_noise_mu"`
-	DialNoiseB  float64 `json:"dial_noise_b"`
+	// DialNoiseB is the scale of the per-bucket dialing noise
+	// distribution.
+	DialNoiseB float64 `json:"dial_noise_b"`
 	// DialBuckets is the invitation dead-drop count m.
 	DialBuckets uint32 `json:"dial_buckets"`
 }
@@ -159,15 +163,15 @@ func (c *Chain) Validate() error {
 
 // ServerKey is a server's private key file.
 type ServerKey struct {
-	Position   int `json:"position"`
-	PrivateKey Key `json:"private_key"`
+	Position   int `json:"position"`    // index into Chain.Servers
+	PrivateKey Key `json:"private_key"` // the server's long-term private key
 }
 
 // UserKey is a user's identity file.
 type UserKey struct {
-	Name       string `json:"name"`
-	PublicKey  Key    `json:"public_key"`
-	PrivateKey Key    `json:"private_key"`
+	Name       string `json:"name"`        // human-readable label; not sent on the wire
+	PublicKey  Key    `json:"public_key"`  // the user's long-term public key
+	PrivateKey Key    `json:"private_key"` // the user's long-term private key
 }
 
 // Save writes any config value as indented JSON. Key files get 0600.

@@ -143,8 +143,8 @@ func OpenMessage(secret *[32]byte, round uint64, sender *box.PublicKey, sealed [
 // deposit Sealed into drop DeadDrop and return the other payload deposited
 // there this round.
 type Request struct {
-	DeadDrop deaddrop.ID
-	Sealed   [SealedSize]byte
+	DeadDrop deaddrop.ID      // b = H(s, r), the round's dead drop
+	Sealed   [SealedSize]byte // the padded message sealed for the peer
 }
 
 // Marshal encodes the request into its fixed 272-byte wire form.

@@ -28,10 +28,14 @@ import (
 
 // Config describes the entry server.
 type Config struct {
+	// Net is the transport used to dial the first chain server.
 	// Exactly one of ChainAddr+Net+ChainPub (networked server 0) or
 	// ChainLocal (in-process chain head) must be set.
-	Net        transport.Network
-	ChainAddr  string
+	Net transport.Network
+	// ChainAddr is the first chain server's listen address.
+	ChainAddr string
+	// ChainLocal, if set, is an in-process chain head used instead of
+	// dialing ChainAddr over Net.
 	ChainLocal *mixnet.Server
 
 	// ChainPub is the first chain server's long-term public key from the
@@ -57,7 +61,9 @@ type Config struct {
 	// round uses m = n·f/µ, where n is the connected client count, f is
 	// AutoBuckets (the assumed dialing fraction), and µ is
 	// AutoBucketsMu (the per-bucket noise mean).
-	AutoBuckets   float64
+	AutoBuckets float64
+	// AutoBucketsMu is the per-bucket noise mean µ used by the
+	// AutoBuckets formula above.
 	AutoBucketsMu float64
 
 	// ConvoExchanges is the fixed number of conversation exchanges every
@@ -84,11 +90,13 @@ type Config struct {
 	// prune per-round reply state beyond that depth.
 	ConvoWindow int
 
-	// ConvoInterval and DialInterval drive timer mode (Start). The
-	// paper's prototype uses sub-minute conversation rounds and 10-minute
-	// dialing rounds (§5.2, §8.3).
+	// ConvoInterval is the conversation-round period in timer mode
+	// (Start). The paper's prototype uses sub-minute conversation rounds
+	// (§5.2).
 	ConvoInterval time.Duration
-	DialInterval  time.Duration
+	// DialInterval is the dialing-round period in timer mode; the
+	// prototype uses 10-minute dialing rounds (§8.3).
+	DialInterval time.Duration
 
 	// RoundState, if set, durably persists the announced round numbers
 	// (roundstate.ConvoCounter / roundstate.DialCounter), write-ahead: a

@@ -11,6 +11,7 @@
 package ref25519
 
 import (
+	"crypto/subtle"
 	"errors"
 	"math/big"
 )
@@ -124,7 +125,7 @@ func X25519(scalar, point *[32]byte) ([32]byte, error) {
 	out := encodeLE(u)
 
 	var zero [32]byte
-	if out == zero {
+	if subtle.ConstantTimeCompare(out[:], zero[:]) == 1 {
 		return out, ErrLowOrder
 	}
 	return out, nil

@@ -113,8 +113,8 @@ func OpenInvitation(sealed []byte, recipientPub *box.PublicKey, recipientPriv *b
 // Request is the innermost dialing request processed by the last server:
 // deposit Sealed into invitation bucket Bucket.
 type Request struct {
-	Bucket uint32
-	Sealed [InvitationSize]byte
+	Bucket uint32               // invitation dead drop: H(peerPub) mod m
+	Sealed [InvitationSize]byte // the sealed invitation
 }
 
 // Marshal encodes the request into its fixed wire form.
@@ -167,9 +167,9 @@ func BuildRequest(senderPub *box.PublicKey, recipient *box.PublicKey, m uint32, 
 // Buckets[i] is the concatenation of all InvitationSize-byte invitations
 // (real and noise) deposited into bucket i.
 type Buckets struct {
-	Round uint64
-	M     uint32
-	Data  [][]byte
+	Round uint64   // the dialing round these buckets belong to
+	M     uint32   // the bucket count m the round ran with
+	Data  [][]byte // Data[i] is bucket i's concatenated invitations
 }
 
 // Invitations returns bucket i's invitations split into fixed-size
@@ -236,9 +236,9 @@ func (s Service) Process(round uint64, m uint32, requests [][]byte) *Buckets {
 // requests (to be onion-wrapped for the downstream chain), so that the
 // bucket sizes observable at the last server are noised (§5.3).
 type NoiseGen struct {
-	Dist noise.Distribution
-	Src  noise.Source
-	Rand io.Reader
+	Dist noise.Distribution // per-bucket cover-traffic count distribution
+	Src  noise.Source       // uniform source feeding Dist.Sample
+	Rand io.Reader          // CSPRNG for the fake invitation bytes
 }
 
 // Generate returns the round's noise requests for m buckets.

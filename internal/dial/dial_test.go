@@ -72,9 +72,9 @@ func TestOptimalBuckets(t *testing.T) {
 		// Exactly at the m=1 boundary, and just either side of the
 		// floor between 2 and 3: uint32 truncation keeps the floor.
 		{"exactly-one", 13000, 1, 13000, 1},
-		{"just-below-three", 59999, 0.05, 1000, 2},  // m = 2.99995
-		{"exactly-three", 60000, 0.05, 1000, 3},     // m = 3.0
-		{"just-above-three", 60001, 0.05, 1000, 3},  // m = 3.00005
+		{"just-below-three", 59999, 0.05, 1000, 2},     // m = 2.99995
+		{"exactly-three", 60000, 0.05, 1000, 3},        // m = 3.0
+		{"just-above-three", 60001, 0.05, 1000, 3},     // m = 3.00005
 		{"fraction-of-a-bucket", 25999, 0.05, 1300, 1}, // m = 0.99996
 		// Extreme µ: a huge noise mean collapses to one bucket; a tiny
 		// (or zero/negative/NaN) one must not wrap the uint32 conversion.

@@ -16,6 +16,7 @@ import (
 // Source yields uniform random float64 values in [0, 1). *math/rand.Rand
 // satisfies Source for deterministic tests.
 type Source interface {
+	// Float64 returns a uniform random value in [0, 1).
 	Float64() float64
 }
 
@@ -39,8 +40,8 @@ func Crypto() Source { return cryptoSource{} }
 // Laplace is a Laplace distribution with mean Mu and scale B. Its standard
 // deviation is √2·B.
 type Laplace struct {
-	Mu float64
-	B  float64
+	Mu float64 // mean (location)
+	B  float64 // scale
 }
 
 // sampleRaw draws one (untruncated) Laplace variate using inverse-CDF
@@ -84,7 +85,7 @@ func (l Laplace) CDF(x float64) float64 {
 // evaluation configures servers to add exactly µ noise "to not let noise
 // affect the clarity of the graphs" (§8.1); Fixed reproduces that mode.
 type Fixed struct {
-	N int
+	N int // the constant sample value
 }
 
 // Sample returns the fixed count.
@@ -94,6 +95,7 @@ func (f Fixed) Sample(Source) int { return f.N }
 // protocol stack switch between real sampling and the paper's fixed-noise
 // evaluation mode.
 type Distribution interface {
+	// Sample draws one noise count, clamped to be non-negative.
 	Sample(Source) int
 }
 

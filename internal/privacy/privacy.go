@@ -17,14 +17,14 @@ var Ln2 = math.Log(2)
 // Params are the Laplace noise parameters of one server: mean Mu and scale
 // B (standard deviation √2·B).
 type Params struct {
-	Mu float64
-	B  float64
+	Mu float64 // mean (location)
+	B  float64 // scale
 }
 
 // Guarantee is an (ε, δ) differential-privacy guarantee.
 type Guarantee struct {
-	Eps   float64
-	Delta float64
+	Eps   float64 // ε, the privacy-loss bound
+	Delta float64 // δ, the probability the ε bound fails
 }
 
 // ConvoRound computes the single-round (ε, δ) guarantee of the
@@ -109,9 +109,10 @@ func MaxRounds(g Guarantee, target Guarantee, d float64) int {
 // Protocol selects which per-round theorem applies.
 type Protocol int
 
-// Protocol values.
 const (
+	// Conversation is the §4 conversation protocol.
 	Conversation Protocol = iota
+	// Dialing is the §5 dialing protocol.
 	Dialing
 )
 

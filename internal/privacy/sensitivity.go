@@ -17,11 +17,11 @@ type Action int
 // Actions enumerated in Figure 6. "ConvB"/"ConvC" are exchanges with users
 // who reciprocate; "ConvX"/"ConvY" are exchanges with users who do not.
 const (
-	Idle Action = iota
-	ConvB
-	ConvC
-	ConvX
-	ConvY
+	Idle  Action = iota // no conversation; fake request to a random drop
+	ConvB               // exchange with b, who reciprocates
+	ConvC               // exchange with c, who reciprocates
+	ConvX               // exchange with x, who does not reciprocate
+	ConvY               // exchange with y, who does not reciprocate
 )
 
 // String returns the Figure 6 row/column label.
@@ -77,8 +77,8 @@ func histogram(a Action) (m1, m2 int) {
 // Delta is one Figure 6 table entry: the difference (real − cover) in m1
 // and m2.
 type Delta struct {
-	M1 int
-	M2 int
+	M1 int // change in single-access dead drops
+	M2 int // change in double-access dead drops
 }
 
 // SensitivityEntry computes one cell of Figure 6: how m1 and m2 differ
@@ -92,7 +92,9 @@ func SensitivityEntry(real, cover Action) Delta {
 // Figure6Rows and Figure6Cols are the cover stories (rows) and real
 // actions (columns) of the paper's table, in its order.
 var (
+	// Figure6Rows are the cover stories, in the paper's row order.
 	Figure6Rows = []Action{Idle, ConvB, ConvC, ConvX, ConvY}
+	// Figure6Cols are the real actions, in the paper's column order.
 	Figure6Cols = []Action{Idle, ConvB, ConvX}
 )
 

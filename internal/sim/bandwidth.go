@@ -79,7 +79,7 @@ func (m CostModel) ServerBytesPerSec(users int, mu float64, servers int) float64
 
 // BucketPoint is one row of the §5.4 bucket-count tradeoff.
 type BucketPoint struct {
-	M uint32
+	M uint32 // the invitation bucket count m
 	// ClientBytes is one client's bucket download per dialing round.
 	ClientBytes int
 	// ServerNoiseInvitations is the total noise generated across the

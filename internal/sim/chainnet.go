@@ -83,10 +83,13 @@ type ChainNet struct {
 	Shards []*mixnet.ShardServer
 	// ShardPubs are the shards' long-term public keys, by index.
 	ShardPubs []box.PublicKey
-	// EntryAddr, ServerAddrs, and ShardAddrs are the listen addresses.
-	EntryAddr   string
+	// EntryAddr is the coordinator's client-facing listen address.
+	EntryAddr string
+	// ServerAddrs are the chain servers' listen addresses, in chain
+	// order.
 	ServerAddrs []string
-	ShardAddrs  []string
+	// ShardAddrs are the shard servers' listen addresses, by index.
+	ShardAddrs []string
 
 	cfg        ChainNetConfig
 	coordCfg   coordinator.Config

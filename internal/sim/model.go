@@ -120,8 +120,8 @@ func (m CostModel) CryptoLowerBound(users int, mu float64, servers int) time.Dur
 
 // Point is one (x, y) of a figure's series.
 type Point struct {
-	Users   int
-	Latency time.Duration
+	Users   int           // x: connected users
+	Latency time.Duration // y: modeled end-to-end round latency
 }
 
 // Figure9 generates the modeled latency-vs-users series for the given
@@ -150,8 +150,8 @@ func Figure10(m CostModel, users []int, muD float64, buckets uint32, servers int
 
 // ChainPoint is one (servers, latency) of Figure 11.
 type ChainPoint struct {
-	Servers int
-	Latency time.Duration
+	Servers int           // x: chain length
+	Latency time.Duration // y: modeled end-to-end round latency
 }
 
 // Figure11 generates the modeled latency-vs-chain-length series (1M

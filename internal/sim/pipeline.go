@@ -40,10 +40,10 @@ func CollidingExchangeRequests(n int) [][]byte {
 
 // PipelinePoint is one measured multi-round run.
 type PipelinePoint struct {
-	Users   int
-	Rounds  int
-	Window  int
-	Elapsed time.Duration
+	Users   int           // clients per round
+	Rounds  int           // rounds run back to back
+	Window  int           // ConvoWindow (rounds in flight at once)
+	Elapsed time.Duration // total wall-clock across all rounds
 }
 
 // PerRound returns the average wall-clock per round.

@@ -13,8 +13,8 @@ import (
 // Request is a single-server exchange request as in Figure 4: the server
 // sees which user accessed which dead drop.
 type Request struct {
-	User     string
-	DeadDrop deaddrop.ID
+	User     string      // the requesting user, visible to the server
+	DeadDrop deaddrop.ID // the dead drop the user accesses, also visible
 }
 
 // Server is the Figure 4 strawman: one server, fully visible access

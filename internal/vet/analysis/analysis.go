@@ -1,0 +1,97 @@
+// Package analysis is the minimal in-repo equivalent of
+// golang.org/x/tools/go/analysis: the Analyzer/Pass/Diagnostic contract
+// that cmd/vuvuzela-vet's checkers are written against. It exists because
+// the module deliberately has zero third-party dependencies (see go.mod);
+// the API mirrors the upstream shapes closely enough that the analyzers
+// could be ported to the real framework by changing only imports.
+//
+// An Analyzer inspects one type-checked package at a time (a Pass) and
+// reports Diagnostics. The driver — not the analyzer — is responsible for
+// the `//vuvuzela:allow` suppression comments (see allow.go) so that
+// every analyzer gets identical allowlist semantics for free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (used in diagnostics and
+// in `//vuvuzela:allow <name> <reason>` comments), a doc string stating
+// the invariant it proves, and the Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and allowlist comments.
+	// It must be a single lowercase word.
+	Name string
+	// Doc states the invariant the analyzer encodes, first line short.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	// The returned error aborts the whole vet run (reserved for
+	// analyzer-internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked, non-test package through an Analyzer.
+// Test files are never part of a Pass: the loader feeds only production
+// GoFiles, which is how every analyzer exempts tests uniformly.
+type Pass struct {
+	// Analyzer is the check this pass is running.
+	Analyzer *Analyzer
+	// Fset maps token.Pos in Files to file positions.
+	Fset *token.FileSet
+	// Files are the package's parsed production sources, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package (import path, scope).
+	Pkg *types.Package
+	// TypesInfo records uses/defs/types for expressions in Files.
+	TypesInfo *types.Info
+	// Report delivers one finding to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the pass's FileSet and a
+// human-readable message. The analyzer name is attached by the driver.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message explains the violated invariant and the fix.
+	Message string
+}
+
+// IsNamedPkg reports whether path is exactly prefix or a subpackage of
+// it ("a/b" matches "a/b" and "a/b/c", not "a/bc"). Analyzers use it to
+// scope themselves to the package trees their invariant covers.
+func IsNamedPkg(path, prefix string) bool {
+	return path == prefix || (len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/')
+}
+
+// ObjectOf resolves an identifier (possibly the Sel of a selector) to
+// its types.Object, or nil.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// PkgFunc reports whether call is a call of the package-level function
+// pkgPath.name, resolved through the type info (so import aliases and
+// shadowing are handled correctly).
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := ObjectOf(info, sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,226 @@
+// Package consttime flags non-constant-time comparisons of secret
+// material — bytes.Equal, reflect.DeepEqual, and the == / != operators
+// on byte sequences — in the packages that handle keys, MACs, and
+// handshake transcripts: internal/crypto/..., internal/transport, and
+// internal/wire. A branchy comparison leaks how many leading bytes
+// matched through timing, which is how MAC forgeries are bootstrapped;
+// docs/THREAT_MODEL.md §2 requires crypto/subtle for these.
+//
+// Two precision modes keep the signal high:
+//
+//   - In internal/crypto/... every byte-sequence comparison is suspect
+//     (that tree exists to handle secrets), except operands whose name
+//     or type says they are public (Pub/Public) — comparing public keys
+//     for identity is not a timing channel.
+//   - In transport and wire, only operands whose identifier or named
+//     type marks them as secret material (key, mac, secret, auth, tag,
+//     hmac, priv, seed, shared, password, digest) are flagged, so
+//     routine frame-field equality checks stay quiet.
+package consttime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"vuvuzela/internal/vet/analysis"
+)
+
+// cryptoTree is the strict-mode package tree.
+const cryptoTree = "vuvuzela/internal/crypto"
+
+// markerScopes are the marker-mode package trees.
+var markerScopes = []string{
+	"vuvuzela/internal/transport",
+	"vuvuzela/internal/wire",
+}
+
+// secretRe matches identifier/type names that denote secret material.
+var secretRe = regexp.MustCompile(`(?i)(key|mac|secret|auth|hmac|tag|priv|seed|shared|password|digest)`)
+
+// pubRe matches names that declare a value public; it overrides
+// secretRe for the same name (PublicKey is public, not a secret key).
+var pubRe = regexp.MustCompile(`(?i)pub`)
+
+// Analyzer flags variable-time comparisons of secret material.
+var Analyzer = &analysis.Analyzer{
+	Name: "consttime",
+	Doc:  "flag bytes.Equal/==/reflect.DeepEqual on key/MAC/auth material in internal/crypto, internal/transport, and internal/wire; secret comparisons must use crypto/subtle",
+	Run:  run,
+}
+
+// run implements the check for one package.
+func run(pass *analysis.Pass) error {
+	strict := analysis.IsNamedPkg(pass.Pkg.Path(), cryptoTree)
+	inScope := strict
+	for _, p := range markerScopes {
+		if analysis.IsNamedPkg(pass.Pkg.Path(), p) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNil(n.X) || isNil(n.Y) {
+					return true
+				}
+				if !byteSeq(pass.TypesInfo, n.X) && !byteSeq(pass.TypesInfo, n.Y) {
+					return true
+				}
+				if flagged(pass.TypesInfo, strict, n.X, n.Y) {
+					pass.Reportf(n.OpPos, "%s on %s is not constant-time; use crypto/subtle.ConstantTimeCompare (docs/THREAT_MODEL.md §2)", n.Op, describe(pass.TypesInfo, n.X, n.Y))
+				}
+			case *ast.CallExpr:
+				var what string
+				switch {
+				case analysis.PkgFunc(pass.TypesInfo, n, "bytes", "Equal"):
+					what = "bytes.Equal"
+				case analysis.PkgFunc(pass.TypesInfo, n, "reflect", "DeepEqual"):
+					what = "reflect.DeepEqual"
+				default:
+					return true
+				}
+				if len(n.Args) != 2 {
+					return true
+				}
+				if flagged(pass.TypesInfo, strict, n.Args[0], n.Args[1]) {
+					pass.Reportf(n.Pos(), "%s on %s is not constant-time; use crypto/subtle.ConstantTimeCompare (docs/THREAT_MODEL.md §2)", what, describe(pass.TypesInfo, n.Args[0], n.Args[1]))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// flagged decides whether a comparison of x and y violates the
+// invariant under the package's mode.
+func flagged(info *types.Info, strict bool, x, y ast.Expr) bool {
+	sx, px := classify(info, x)
+	sy, py := classify(info, y)
+	if strict {
+		// Everything in crypto/... is suspect unless the comparison
+		// involves declared-public material and no declared secret.
+		return !((px || py) && !sx && !sy)
+	}
+	return sx || sy
+}
+
+// classify inspects every name reachable from expr (identifiers,
+// selector fields, called functions, and named types) and reports
+// whether any marks the value secret, and whether any marks it public.
+// A name matching both (PublicKey) counts as public only.
+func classify(info *types.Info, expr ast.Expr) (secret, public bool) {
+	for _, name := range names(info, expr) {
+		if pubRe.MatchString(name) {
+			public = true
+		} else if secretRe.MatchString(name) {
+			secret = true
+		}
+	}
+	return secret, public
+}
+
+// names collects the identifier and type names describing expr.
+func names(info *types.Info, expr ast.Expr) []string {
+	var out []string
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			out = append(out, e.Name)
+		case *ast.SelectorExpr:
+			out = append(out, e.Sel.Name)
+			walk(e.X)
+		case *ast.IndexExpr:
+			walk(e.X)
+		case *ast.SliceExpr:
+			walk(e.X)
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.StarExpr:
+			walk(e.X)
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.CallExpr:
+			walk(e.Fun)
+		case *ast.CompositeLit:
+			if e.Type != nil {
+				walk(e.Type)
+			}
+		}
+	}
+	walk(expr)
+	if tv, ok := info.Types[expr]; ok && tv.Type != nil {
+		out = append(out, typeNames(tv.Type)...)
+	}
+	return out
+}
+
+// typeNames returns the named-type names of t (through pointers).
+func typeNames(t types.Type) []string {
+	var out []string
+	for {
+		switch tt := t.(type) {
+		case *types.Named:
+			out = append(out, tt.Obj().Name())
+			t = tt.Underlying()
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			out = append(out, tt.Obj().Name())
+			t = types.Unalias(tt)
+		default:
+			return out
+		}
+	}
+}
+
+// byteSeq reports whether expr's type is a byte slice, byte array, or
+// string — the shapes secret material travels in. Single bytes and
+// integers (length checks, version octets) are excluded.
+func byteSeq(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return isByte(t.Elem())
+	case *types.Array:
+		return isByte(t.Elem())
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// isByte reports whether t is byte/uint8.
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isNil reports whether expr is the nil identifier.
+func isNil(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// describe renders a short human-readable tag for the compared values.
+func describe(info *types.Info, x, y ast.Expr) string {
+	for _, e := range []ast.Expr{x, y} {
+		if s, p := classify(info, e); s && !p {
+			return types.ExprString(e)
+		}
+	}
+	return types.ExprString(x)
+}

@@ -1,0 +1,76 @@
+// Package cryptorand forbids math/rand (and math/rand/v2) imports in
+// the production packages whose randomness is security-critical: noise
+// cover traffic, the mixing shuffle, onion encryption, dialing, the
+// crypto primitives, the secure transport, and the wire layer. A
+// predictable source in any of them voids the paper's differential-
+// privacy noise argument or the unlinkability of the shuffle
+// (docs/THREAT_MODEL.md §3), which is exactly the silent regression a
+// test suite cannot catch — tests exercise values, not distributions.
+// Tests themselves may (and do) use seeded math/rand; the driver never
+// feeds _test.go files to analyzers.
+package cryptorand
+
+import (
+	"strconv"
+	"strings"
+
+	"vuvuzela/internal/vet/analysis"
+)
+
+// forbiddenIn are the package trees where math/rand must never appear.
+var forbiddenIn = []string{
+	"vuvuzela/internal/noise",
+	"vuvuzela/internal/shuffle",
+	"vuvuzela/internal/onion",
+	"vuvuzela/internal/dial",
+	"vuvuzela/internal/crypto",
+	"vuvuzela/internal/transport",
+	"vuvuzela/internal/wire",
+}
+
+// bannedImports are the non-cryptographic PRNG packages.
+var bannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Analyzer flags math/rand imports in security-critical packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "cryptorand",
+	Doc:  "forbid math/rand imports in security-critical production packages (noise, shuffle, onion, dial, crypto/..., transport, wire); randomness there must come from crypto/rand",
+	Run:  run,
+}
+
+// run implements the check for one package.
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, p := range forbiddenIn {
+		if analysis.IsNamedPkg(pass.Pkg.Path(), p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if bannedImports[path] {
+				pass.Reportf(imp.Pos(), "%s is not a CSPRNG; %s must draw randomness from crypto/rand (docs/THREAT_MODEL.md §3)", path, shortPkg(pass.Pkg.Path()))
+			}
+		}
+	}
+	return nil
+}
+
+// shortPkg renders an import path as its last element for messages.
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

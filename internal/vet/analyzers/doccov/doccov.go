@@ -1,0 +1,162 @@
+// Package doccov enforces godoc coverage over the whole module: every
+// exported identifier in every production package — package clauses,
+// types, funcs, methods, consts, vars, struct fields, and interface
+// methods — must carry a doc comment. The wire protocol and the secure
+// transport are specified in docs/WIRE.md and docs/THREAT_MODEL.md; the
+// godoc is where those specs attach to the code, so a missing doc
+// comment is treated as build breakage the same way revive's exported
+// rule would be, without adding a dependency. This is the analyzer port
+// of the former cmd/doclint, widened from four packages to the module.
+package doccov
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"vuvuzela/internal/vet/analysis"
+)
+
+// Analyzer reports exported identifiers without doc comments.
+var Analyzer = &analysis.Analyzer{
+	Name: "doccov",
+	Doc:  "require a doc comment on every exported identifier; docs/WIRE.md and docs/THREAT_MODEL.md attach to the code through godoc",
+	Run:  run,
+}
+
+// run implements the check for one package.
+func run(pass *analysis.Pass) error {
+	// Package doc: any one file carrying it satisfies the package.
+	hasPkgDoc := false
+	for _, f := range pass.Files {
+		if documented(f.Doc) {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc && len(pass.Files) > 0 {
+		first := pass.Files[0]
+		for _, f := range pass.Files[1:] {
+			if pass.Fset.Position(f.Package).Filename < pass.Fset.Position(first.Package).Filename {
+				first = f
+			}
+		}
+		pass.Reportf(first.Package, "package %s is missing a doc comment", pass.Pkg.Name())
+	}
+	files := make([]*ast.File, len(pass.Files))
+	copy(files, pass.Files)
+	sort.Slice(files, func(i, j int) bool {
+		return pass.Fset.Position(files[i].Package).Filename < pass.Fset.Position(files[j].Package).Filename
+	})
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			lintDecl(pass, decl)
+		}
+	}
+	return nil
+}
+
+// documented reports whether a doc comment group carries actual text
+// (comment directives like //vuvuzela:allow don't count: ast strips
+// them from Text()).
+func documented(g *ast.CommentGroup) bool {
+	return g != nil && strings.TrimSpace(g.Text()) != ""
+}
+
+// lintDecl checks one top-level declaration.
+func lintDecl(pass *analysis.Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d) {
+			return
+		}
+		if !documented(d.Doc) {
+			kind := "func"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			pass.Reportf(d.Pos(), "%s %s is missing a doc comment", kind, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				// The type itself: its own doc or the decl block's.
+				if !documented(s.Doc) && !documented(d.Doc) {
+					pass.Reportf(s.Pos(), "type %s is missing a doc comment", s.Name.Name)
+				}
+				lintTypeInnards(pass, s)
+			case *ast.ValueSpec:
+				// A const/var spec passes with its own doc, a trailing
+				// line comment, or (for single-spec decls) the block doc.
+				if documented(s.Doc) || documented(s.Comment) || (len(d.Specs) == 1 && documented(d.Doc)) {
+					continue
+				}
+				for _, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					kind := "const"
+					if d.Tok == token.VAR {
+						kind = "var"
+					}
+					pass.Reportf(name.Pos(), "%s %s is missing a doc comment", kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a func has no receiver or a receiver of
+// an exported type (methods on unexported types are not part of the
+// package's godoc surface).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// lintTypeInnards checks exported struct fields and interface methods
+// of an exported type.
+func lintTypeInnards(pass *analysis.Pass, s *ast.TypeSpec) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			if documented(f.Doc) || documented(f.Comment) {
+				continue
+			}
+			for _, name := range f.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "field %s.%s is missing a doc comment", s.Name.Name, name.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if documented(m.Doc) || documented(m.Comment) {
+				continue
+			}
+			for _, name := range m.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "interface method %s.%s is missing a doc comment", s.Name.Name, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package errclass keeps error chains unwrappable where round-failure
+// classification depends on them: in internal/mixnet, internal/
+// coordinator, and internal/wire, wrapping an error with fmt.Errorf
+// must use %w, not %v or %s. Those packages classify failures with
+// errors.As(*mixnet.RemoteError) to decide whether a round was consumed
+// by the chain and must never be blindly retried (docs/THREAT_MODEL.md
+// §3); an opaque %v flattens the chain to text and turns a consumed
+// round into a retryable-looking one.
+package errclass
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"vuvuzela/internal/vet/analysis"
+)
+
+// scopes are the packages whose error chains feed classification.
+var scopes = []string{
+	"vuvuzela/internal/mixnet",
+	"vuvuzela/internal/coordinator",
+	"vuvuzela/internal/wire",
+}
+
+// Analyzer flags chain-breaking fmt.Errorf verbs applied to errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc:  "flag fmt.Errorf %v/%s applied to an error value in internal/mixnet, internal/coordinator, and internal/wire; use %w so RemoteError classification survives (THREAT_MODEL.md §3)",
+	Run:  run,
+}
+
+// run implements the check for one package.
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, p := range scopes {
+		if analysis.IsNamedPkg(pass.Pkg.Path(), p) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !analysis.PkgFunc(pass.TypesInfo, call, "fmt", "Errorf") {
+				return true
+			}
+			if len(call.Args) < 2 || call.Ellipsis.IsValid() {
+				return true
+			}
+			format, ok := constString(pass.TypesInfo, call.Args[0])
+			if !ok {
+				return true
+			}
+			for _, v := range verbs(format) {
+				argIdx := 1 + v.arg
+				if argIdx >= len(call.Args) {
+					break
+				}
+				if v.verb != 'v' && v.verb != 's' {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[call.Args[argIdx]]
+				if !ok || tv.Type == nil || !types.AssignableTo(tv.Type, errType) {
+					continue
+				}
+				pass.Reportf(call.Args[argIdx].Pos(), "fmt.Errorf %%%c flattens this error to text; use %%w so errors.As can still classify *mixnet.RemoteError (docs/THREAT_MODEL.md §3)", v.verb)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constString evaluates expr as a compile-time string constant.
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verbInfo maps one format verb to the operand index it consumes.
+type verbInfo struct {
+	arg  int
+	verb byte
+}
+
+// verbs scans a fmt format string and returns each verb with the
+// zero-based operand index it consumes, accounting for `*` width and
+// precision operands and `[n]` argument indexes.
+func verbs(format string) []verbInfo {
+	var out []verbInfo
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		// Explicit argument index.
+		if i < len(format) && format[i] == '[' {
+			j := strings.IndexByte(format[i:], ']')
+			if j < 0 {
+				break
+			}
+			n := 0
+			for _, c := range format[i+1 : i+j] {
+				if c < '0' || c > '9' {
+					n = -1
+					break
+				}
+				n = n*10 + int(c-'0')
+			}
+			if n <= 0 {
+				break // malformed or non-numeric index; stop parsing
+			}
+			arg = n - 1
+			i += j + 1
+		}
+		// Width.
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				arg++
+			}
+			i++
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					arg++
+				}
+				i++
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		out = append(out, verbInfo{arg: arg, verb: format[i]})
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package errclass
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verbInfo
+	}{
+		{"plain", nil},
+		{"%v", []verbInfo{{0, 'v'}}},
+		{"a %s b %w", []verbInfo{{0, 's'}, {1, 'w'}}},
+		{"%d%%%v", []verbInfo{{0, 'd'}, {1, 'v'}}},
+		{"%+v %-8s %#x", []verbInfo{{0, 'v'}, {1, 's'}, {2, 'x'}}},
+		{"%*d %v", []verbInfo{{1, 'd'}, {2, 'v'}}},
+		{"%.*f %s", []verbInfo{{1, 'f'}, {2, 's'}}},
+		{"%6.2f %s", []verbInfo{{0, 'f'}, {1, 's'}}},
+		{"%[2]v", []verbInfo{{1, 'v'}}},
+		{"%[2]v %v", []verbInfo{{1, 'v'}, {2, 'v'}}},
+		{"%", nil},
+		{"trailing %", nil},
+		{"%[x]v", nil}, // malformed index: stop rather than misattribute
+	}
+	for _, c := range cases {
+		if got := verbs(c.format); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("verbs(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}

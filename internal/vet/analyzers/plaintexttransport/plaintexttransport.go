@@ -1,0 +1,113 @@
+// Package plaintexttransport encodes the PR 4 invariant "no plaintext
+// transport path constructs anywhere" (docs/THREAT_MODEL.md §2) as a
+// build-time theorem: outside internal/transport (where the substrate
+// and its transport.Secure wrap live), internal/sim (the in-memory test
+// network), and test files, nothing may call the net package's Dial/
+// Listen constructors or instantiate transport.TCP. Every sanctioned
+// exception — the cmd/ binaries constructing the TCP substrate that the
+// mixnet and coordinator immediately wrap in transport.Secure — must
+// carry a `//vuvuzela:allow plaintexttransport <reason>` comment.
+package plaintexttransport
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vuvuzela/internal/vet/analysis"
+)
+
+// transportPkg is the one package allowed to touch raw sockets.
+const transportPkg = "vuvuzela/internal/transport"
+
+// exempt are the package trees where plaintext construction is the
+// point: the transport package itself and the in-memory simulation net.
+var exempt = []string{
+	transportPkg,
+	"vuvuzela/internal/sim",
+}
+
+// netConstructors are the net-package functions that mint a plaintext
+// network path. net.Pipe is deliberately absent: a synchronous
+// in-process pipe never crosses a host boundary, so there is nothing
+// for an adversary to tap.
+var netConstructors = map[string]bool{
+	"Dial":         true,
+	"DialContext":  true,
+	"DialTimeout":  true,
+	"DialTCP":      true,
+	"DialUDP":      true,
+	"DialIP":       true,
+	"DialUnix":     true,
+	"Listen":       true,
+	"ListenTCP":    true,
+	"ListenUDP":    true,
+	"ListenIP":     true,
+	"ListenUnix":   true,
+	"ListenPacket": true,
+}
+
+// Analyzer flags plaintext transport construction outside the
+// sanctioned packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "plaintexttransport",
+	Doc:  "flag net.Dial/net.Listen calls and transport.TCP construction outside internal/transport and internal/sim (THREAT_MODEL.md §2: every leg runs inside transport.Secure)",
+	Run:  run,
+}
+
+// run implements the check for one package.
+func run(pass *analysis.Pass) error {
+	for _, p := range exempt {
+		if analysis.IsNamedPkg(pass.Pkg.Path(), p) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := netCall(pass.TypesInfo, n); ok {
+					pass.Reportf(n.Pos(), "net.%s constructs a plaintext network path; every leg must run inside transport.Secure (docs/THREAT_MODEL.md §2)", name)
+				}
+			case *ast.Ident:
+				if isTCPType(pass.TypesInfo, n) {
+					pass.Reportf(n.Pos(), "transport.TCP is the plaintext substrate; construct it only in internal/transport or internal/sim, or allowlist the wrap site")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// netCall reports whether call invokes one of the net constructors,
+// returning the function name.
+func netCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := analysis.ObjectOf(info, sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net" {
+		return "", false
+	}
+	if !netConstructors[obj.Name()] {
+		return "", false
+	}
+	// Both the package-level constructors and the Dialer/ListenConfig
+	// methods mint plaintext paths; anything else named Dial (e.g. the
+	// transport.Network interface method) resolves to another package.
+	if _, ok := obj.(*types.Func); !ok {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// isTCPType reports whether id is a use of the transport.TCP type —
+// composite literals, conversions, new(), and declarations all resolve
+// through the type name, so flagging the name catches every
+// construction form.
+func isTCPType(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	tn, ok := obj.(*types.TypeName)
+	return ok && tn.Pkg() != nil && tn.Pkg().Path() == transportPkg && tn.Name() == "TCP"
+}

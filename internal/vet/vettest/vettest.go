@@ -1,0 +1,165 @@
+// Package vettest runs one vet analyzer over a GOPATH-style fixture
+// tree and checks its diagnostics against `// want "regexp"` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest for the in-repo
+// framework. Allowlist comments are applied exactly as the
+// cmd/vuvuzela-vet driver applies them — suppressed findings must have
+// no want, and stale or malformed `//vuvuzela:allow` entries surface as
+// diagnostics from the pseudo-analyzer "allowlist" that fixtures can
+// want like any other finding.
+package vettest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vuvuzela/internal/vet/analysis"
+	"vuvuzela/internal/vet/loader"
+)
+
+// wantRe extracts the expectation comment of a fixture line. Both
+// `// want "re"` and the directive form `//want:doccov "re"` are
+// accepted: a comment directive (`//word:word`, per go/ast) is
+// invisible to ast.CommentGroup.Text(), which doc-coverage fixtures
+// need so the expectation itself does not count as documentation of
+// the flagged declaration.
+var wantRe = regexp.MustCompile(`//\s*want(?::[a-z0-9]+)?[ \t]+(.*)$`)
+
+// Run loads srcRoot/importPath as a fixture package, applies the
+// analyzer plus the driver's allowlist semantics, and reports any
+// mismatch against the fixture's `// want` comments as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, srcRoot, importPath string) {
+	t.Helper()
+	pkg, err := loader.LoadFixture(srcRoot, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+
+	type labeled struct {
+		analyzer string
+		msg      string
+		file     string
+		line     int
+	}
+	var got []labeled
+	add := func(name string, d analysis.Diagnostic) {
+		pos := pkg.Fset.Position(d.Pos)
+		got = append(got, labeled{name, d.Message, pos.Filename, pos.Line})
+	}
+
+	var raw []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { raw = append(raw, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	allows, malformed := analysis.CollectAllows(pkg.Fset, pkg.Files, map[string]bool{a.Name: true})
+	for _, d := range analysis.Filter(pkg.Fset, a.Name, raw, allows) {
+		add(a.Name, d)
+	}
+	for _, d := range malformed {
+		add("allowlist", d)
+	}
+	for _, d := range analysis.UnusedAllows(allows) {
+		add("allowlist", d)
+	}
+
+	// Collect wants per file:line.
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWants(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+
+	used := make([]bool, len(got))
+	for k, res := range wants {
+		for _, re := range res {
+			matched := false
+			for i, d := range got {
+				if !used[i] && d.file == k.file && d.line == k.line && re.MatchString(d.msg) {
+					used[i] = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+			}
+		}
+	}
+	for i, d := range got {
+		if !used[i] {
+			t.Errorf("%s:%d: unexpected diagnostic from %s: %s", d.file, d.line, d.analyzer, d.msg)
+		}
+	}
+}
+
+// parseWants splits the tail of a want comment into its quoted regexps
+// (double- or back-quoted, space-separated).
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			lit = s[1 : end+1]
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want expectation must be a quoted regexp, got %q", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, re)
+	}
+	return res, nil
+}

@@ -86,9 +86,9 @@ func KeyPairFromSeed(seed string) (PublicKey, PrivateKey) {
 // servers always add exactly Mu noise requests — the paper's evaluation
 // mode (§8.1).
 type NoiseParams struct {
-	Mu    float64
-	B     float64
-	Fixed bool
+	Mu    float64 // mean (location)
+	B     float64 // scale
+	Fixed bool    // always add exactly Mu noise instead of sampling
 }
 
 func (p NoiseParams) dist() noise.Distribution {
@@ -147,6 +147,8 @@ var DefaultDialNoise = NoiseParams{Mu: 13000, B: 770}
 // servers, a CDN, an entry-server coordinator, and an in-memory transport
 // that clients connect over.
 type Network struct {
+	// Chain holds the servers' public keys in chain order; clients
+	// onion-encrypt for these.
 	Chain []PublicKey
 
 	mem       *transport.Mem
