@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check vet vuvuzela-vet staticcheck govulncheck lint build test race shardtest restart-matrix fuzz bench example-smoke clean
+.PHONY: check vet vuvuzela-vet staticcheck govulncheck lint build test race shardtest restart-matrix fuzz bench bench-record example-smoke clean
 
 check: lint build race shardtest restart-matrix fuzz
 
@@ -68,6 +68,7 @@ fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureHandshakeClient$$' -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureRecordTamper$$' -fuzztime 10s
 	$(GO) test ./internal/roundstate -run '^$$' -fuzz 'FuzzRoundStateLoad$$' -fuzztime 10s
+	$(GO) test ./internal/crypto/box -run '^$$' -fuzz 'FuzzOpenInto$$' -fuzztime 10s
 
 # Boots the examples/chain deployment (3 servers + 2 shards + entry, all
 # real processes on loopback TCP) and exchanges a message through it.
@@ -77,6 +78,12 @@ example-smoke:
 # Short benchmark pass over the scalability-critical paths.
 bench:
 	$(GO) test -run NONE -bench 'ShardedExchange|PipelinedRounds|ServiceProcess' -benchtime 3x ./...
+
+# Secure record layer: steady-state MB/s and allocs/record for both AEAD
+# suites plus the onion-unwrap rate, regenerating BENCH_transport.json
+# (CI runs the -quick smoke form of the same command).
+bench-record:
+	$(GO) run ./cmd/vuvuzela-bench -json BENCH_transport.json record
 
 clean:
 	$(GO) clean ./...

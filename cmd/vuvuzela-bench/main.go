@@ -36,7 +36,8 @@ var (
 	scale   = flag.Int("scale", 500, "scale divisor for measured runs (users and µ divided by this)")
 	secure  = flag.Bool("secure", false, "shardnet: also measure the authenticated-transport overhead (handshake latency, record-layer throughput vs raw)")
 	degrade = flag.Bool("degrade", false, "shardnet: also measure degraded rounds (k shards killed, ShardPolicy=Degrade)")
-	jsonOut = flag.String("json", "", "shardnet: write the measured points to this file (e.g. BENCH_shardnet.json)")
+	jsonOut = flag.String("json", "", "shardnet/record: write the measured points to this file (e.g. BENCH_shardnet.json, BENCH_transport.json)")
+	quick   = flag.Bool("quick", false, "record: smoke mode with minimal iterations (CI)")
 )
 
 func main() {
@@ -73,6 +74,8 @@ func main() {
 			shard()
 		case "shardnet":
 			shardnet()
+		case "record":
+			record()
 		case "pipeline":
 			pipeline()
 		case "all":
@@ -89,6 +92,7 @@ func main() {
 			attack()
 			shard()
 			shardnet()
+			record()
 			pipeline()
 		default:
 			usage()
@@ -97,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vuvuzela-bench [-measure] [-scale N] fig6|fig7|fig8|fig9|fig10|fig11|posterior|costs|bandwidth|attack|shard|shardnet|pipeline|all")
+	fmt.Fprintln(os.Stderr, "usage: vuvuzela-bench [-measure] [-scale N] fig6|fig7|fig8|fig9|fig10|fig11|posterior|costs|bandwidth|attack|shard|shardnet|record|pipeline|all")
 	os.Exit(2)
 }
 
@@ -465,11 +469,23 @@ func secureOverhead() *secureOverheadPoint {
 		return float64(payload) / (1 << 20) / time.Since(start).Seconds()
 	}
 
-	raw := pump(func() (io.Writer, io.Reader, func()) {
+	// One warmup pass, then the median of several timed runs: a single
+	// cold pump is noisy (page faults, handshake, buffer growth, scheduler
+	// warmup) and a flaky baseline poisons every later comparison.
+	const runs = 5
+	measureMBps := func(mk func() (io.Writer, io.Reader, func())) float64 {
+		pump(mk)
+		vals := make([]float64, 0, runs)
+		for i := 0; i < runs; i++ {
+			vals = append(vals, pump(mk))
+		}
+		return median(vals)
+	}
+	raw := measureMBps(func() (io.Writer, io.Reader, func()) {
 		cc, sc := net.Pipe()
 		return cc, sc, func() { cc.Close(); sc.Close() }
 	})
-	sec := pump(func() (io.Writer, io.Reader, func()) {
+	sec := measureMBps(func() (io.Writer, io.Reader, func()) {
 		cc, sc := net.Pipe()
 		client := transport.SecureClient(cc, cPriv, sPub)
 		server := transport.SecureServer(sc, sPriv, []box.PublicKey{cPub})

@@ -173,6 +173,25 @@ func Open(ct []byte, nonce *[NonceSize]byte, key *[KeySize]byte) ([]byte, error)
 	if len(ct) < Overhead {
 		return nil, ErrDecrypt
 	}
+	msg := make([]byte, len(ct)-Overhead)
+	if err := OpenInto(msg, ct, nonce, key); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// OpenInto is Open writing the plaintext into a caller-provided buffer of
+// length len(ct)-Overhead, the zero-allocation sibling of SealInto. out
+// must not alias ct except when out exactly overlaps ct[Overhead:]
+// (in-place decryption). Nothing is written to out unless authentication
+// succeeds, so a reused buffer never ends up holding forged bytes.
+func OpenInto(out, ct []byte, nonce *[NonceSize]byte, key *[KeySize]byte) error {
+	if len(ct) < Overhead {
+		return ErrDecrypt
+	}
+	if len(out) != len(ct)-Overhead {
+		panic("box: bad output buffer size")
+	}
 	subKey, subNonce := salsa.DeriveX(key, nonce)
 
 	var block0 [salsa.BlockSize]byte
@@ -184,21 +203,20 @@ func Open(ct []byte, nonce *[NonceSize]byte, key *[KeySize]byte) ([]byte, error)
 	copy(tag[:], ct[:Overhead])
 	body := ct[Overhead:]
 	if !poly1305.Verify(&tag, body, &polyKey) {
-		return nil, ErrDecrypt
+		return ErrDecrypt
 	}
 
-	msg := make([]byte, len(body))
 	n := len(body)
 	if n > 32 {
 		n = 32
 	}
 	for i := 0; i < n; i++ {
-		msg[i] = body[i] ^ block0[32+i]
+		out[i] = body[i] ^ block0[32+i]
 	}
 	if len(body) > 32 {
-		salsa.XORKeyStream(msg[32:], body[32:], &subKey, &subNonce, 1)
+		salsa.XORKeyStream(out[32:], body[32:], &subKey, &subNonce, 1)
 	}
-	return msg, nil
+	return nil
 }
 
 // SealBox encrypts msg from the sender (private key) to the recipient

@@ -251,6 +251,11 @@ func (s *ShardServer) handleConn(raw net.Conn) {
 		return
 	}
 	defer c.Close()
+	// Each iteration fully consumes msg before the next Recv: the round
+	// is exchanged (replies are fresh buffers or aliases consumed by the
+	// Send below) and the response flushed, so the recycled receive
+	// buffer is safe and the per-round sub-batch allocation disappears.
+	c.ReuseRecvBuffer(true)
 	for {
 		msg, err := c.Recv()
 		if err != nil {
@@ -586,6 +591,11 @@ func (r *ShardRouter) conn(s int) (*shardConn, error) {
 	}
 	sec := transport.SecureClient(raw, r.cfg.Identity, r.cfg.ShardPubs[s])
 	c := &shardConn{raw: sec, c: wire.NewConn(sec)}
+	// Rounds on one shard connection are strictly sequential: round r's
+	// replies are merged, sealed, and sent up the chain before round
+	// r+1's exchange issues the next Recv, so the recycled receive
+	// buffer is never overwritten while a previous reply is still live.
+	c.c.ReuseRecvBuffer(true)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {

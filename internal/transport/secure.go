@@ -58,13 +58,23 @@ var ErrAuth = errors.New("transport: peer authentication failed")
 const (
 	secureVersion = 1
 
-	// maxRecordPlain bounds one record's data payload; larger writes are
-	// split. The bound caps what a malicious length prefix can make the
-	// reader allocate.
-	maxRecordPlain = 1 << 16
+	// maxRecordPlain is the protocol cap on one record's data payload:
+	// the largest plaintext any writer may put in a record and the
+	// largest every reader MUST accept (docs/WIRE.md §1.3). The bound
+	// caps what a malicious length prefix can make the reader allocate.
+	maxRecordPlain = 1 << 20
+	// defaultRecordPlain is the record size writers use unless
+	// configured otherwise (WithRecordSize). Larger records amortize the
+	// per-record tag, nonce setup, and framing over more payload;
+	// readers accept every size up to maxRecordPlain, including the
+	// 64 KiB records of pre-coalescing writers.
+	defaultRecordPlain = 1 << 18
 	// maxHandshakeFrame bounds the handshake messages (both are ~113
 	// bytes; anything bigger is not this protocol).
 	maxHandshakeFrame = 512
+	// alertTimeout bounds the best-effort fatal-alert write after a
+	// receive-side authentication failure.
+	alertTimeout = 500 * time.Millisecond
 
 	dirClientToServer = 1
 	dirServerToClient = 2
@@ -94,6 +104,15 @@ type Secure struct {
 	conn net.Conn
 	priv box.PrivateKey
 
+	// suite is the record AEAD suite (box.DefaultSuite unless WithSuite
+	// overrides it). Both ends must be configured with the same suite —
+	// there is no negotiation to downgrade; a mismatch fails the first
+	// record with ErrAuth (docs/WIRE.md §1.3).
+	suite box.Suite
+	// recordPlain is the writer's record payload size in bytes,
+	// defaultRecordPlain unless WithRecordSize overrides it.
+	recordPlain int
+
 	isClient bool
 	// serverPub is the expected peer key (client role).
 	serverPub box.PublicKey
@@ -108,29 +127,103 @@ type Secure struct {
 	hsErr  error
 	peer   box.PublicKey
 	key    [box.KeySize]byte
+	// aead is the record suite bound to the session key, built once when
+	// the handshake completes (per-key setup like the AES key schedule
+	// must not run per record).
+	aead box.Keyed
 
 	rdMu  sync.Mutex
 	rdCtr uint64
+	// rdHdr is the reusable 4-byte record length prefix buffer (a local
+	// array would escape through the io.ReadFull interface call).
+	rdHdr [4]byte
+	// rdNonce is the reusable receive-direction record nonce.
+	rdNonce [box.NonceSize]byte
+	// rdRec is the reusable ciphertext buffer one record is read into.
+	rdRec []byte
+	// rdPt is the reusable plaintext buffer records decrypt into; rdBuf
+	// aliases it, so it is only overwritten once rdBuf is drained.
+	rdPt []byte
+	// rdBuf is the undelivered remainder of the last data record.
 	rdBuf []byte
 	rdErr error
 
+	// wrMu serializes record writes; wrErr lives under the separate
+	// wrStMu so a reader detecting a forgery can poison the write
+	// direction without blocking behind an in-flight Write.
 	wrMu  sync.Mutex
 	wrCtr uint64
-	wrErr error
+	// wrNonce is the reusable send-direction record nonce.
+	wrNonce [box.NonceSize]byte
+	// wrPt is the reusable plaintext staging buffer (type byte + chunk).
+	wrPt []byte
+	// wrCt is the reusable ciphertext buffer, with Overhead tail
+	// capacity for suites that need seal scratch (box.Keyed contract).
+	wrCt []byte
+	// wrHdr is the 4-byte record length prefix.
+	wrHdr [4]byte
+	// wrVecBase is the two-element backing store for the vectored
+	// header+ciphertext write; wrVec is the consumable net.Buffers view
+	// handed to WriteTo (which advances it). Both live on the struct so
+	// the steady-state write path allocates nothing.
+	wrVecBase net.Buffers
+	wrVec     net.Buffers
+
+	// wrStMu guards wrErr only and is never held across I/O.
+	wrStMu sync.Mutex
+	wrErr  error
+}
+
+// SecureOption configures a Secure connection at construction time.
+type SecureOption func(*Secure)
+
+// WithSuite selects the record AEAD suite (default box.DefaultSuite,
+// XSalsa20-Poly1305). Both ends of a connection must be configured with
+// the same suite; the choice is deployment configuration, not
+// negotiated, so a mismatch fails the first record closed with ErrAuth.
+// Handshake authentication is NaCl boxes regardless of the record suite.
+func WithSuite(s box.Suite) SecureOption {
+	return func(c *Secure) { c.suite = s }
+}
+
+// WithRecordSize sets the largest data payload this side places in one
+// record, in bytes. Values are clamped to [1, the protocol cap of 1 MiB]
+// (docs/WIRE.md §1.3); readers always accept every record size up to the
+// cap, so the two ends need not agree.
+func WithRecordSize(n int) SecureOption {
+	return func(c *Secure) {
+		if n < 1 {
+			n = 1
+		}
+		if n > maxRecordPlain {
+			n = maxRecordPlain
+		}
+		c.recordPlain = n
+	}
+}
+
+// newSecure applies defaults and options shared by all constructors.
+func newSecure(s *Secure, opts []SecureOption) *Secure {
+	s.suite = box.DefaultSuite
+	s.recordPlain = defaultRecordPlain
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // SecureClient wraps the dialing side of a connection: priv is this
 // peer's long-term key and serverPub the key the remote listener must
 // prove it holds (from the chain descriptor).
-func SecureClient(conn net.Conn, priv box.PrivateKey, serverPub box.PublicKey) *Secure {
-	return &Secure{conn: conn, priv: priv, isClient: true, serverPub: serverPub}
+func SecureClient(conn net.Conn, priv box.PrivateKey, serverPub box.PublicKey, opts ...SecureOption) *Secure {
+	return newSecure(&Secure{conn: conn, priv: priv, isClient: true, serverPub: serverPub}, opts)
 }
 
 // SecureServer wraps the accepting side of a connection: priv is this
 // peer's long-term key and authorized the static keys allowed to drive
 // it. Any other peer fails the handshake with ErrAuth.
-func SecureServer(conn net.Conn, priv box.PrivateKey, authorized []box.PublicKey) *Secure {
-	return &Secure{conn: conn, priv: priv, authorized: authorized}
+func SecureServer(conn net.Conn, priv box.PrivateKey, authorized []box.PublicKey, opts ...SecureOption) *Secure {
+	return newSecure(&Secure{conn: conn, priv: priv, authorized: authorized}, opts)
 }
 
 // SecureServerAny wraps the accepting side of a connection that
@@ -143,8 +236,8 @@ func SecureServer(conn net.Conn, priv box.PrivateKey, authorized []box.PublicKey
 // or a future direct client), but deliberately does not restrict who may
 // submit batches, because the entry role is untrusted in the paper's
 // threat model and gains nothing by holding a well-known key.
-func SecureServerAny(conn net.Conn, priv box.PrivateKey) *Secure {
-	return &Secure{conn: conn, priv: priv, anyPeer: true}
+func SecureServerAny(conn net.Conn, priv box.PrivateKey, opts ...SecureOption) *Secure {
+	return newSecure(&Secure{conn: conn, priv: priv, anyPeer: true}, opts)
 }
 
 // Peer returns the authenticated remote static key; the zero key before
@@ -176,6 +269,8 @@ func (s *Secure) Handshake() error {
 		s.hsErr = err
 		return err
 	}
+	s.aead = s.suite.Key(&s.key)
+	s.wrVecBase = make(net.Buffers, 2)
 	s.hsDone = true
 	return nil
 }
@@ -342,15 +437,19 @@ func hsNonce(label string, parts ...[]byte) [box.NonceSize]byte {
 	return n
 }
 
-// recordNonce builds the implicit per-record nonce: one byte of
+// recordNonce fills the implicit per-record nonce: one byte of
 // direction and a strictly increasing counter. The counter never crosses
 // the wire, so a replayed or reordered record decrypts under the wrong
-// nonce and fails authentication.
-func recordNonce(dir byte, ctr uint64) [box.NonceSize]byte {
-	var n [box.NonceSize]byte
+// nonce and fails authentication. The nonce is filled in place (each
+// direction owns a reusable nonce field) because a local array passed
+// through the box.Keyed interface escapes to the heap — one of the three
+// per-record allocations this layer eliminates.
+func recordNonce(n *[box.NonceSize]byte, dir byte, ctr uint64) {
 	n[0] = dir
 	binary.BigEndian.PutUint64(n[1:9], ctr)
-	return n
+	for i := 9; i < box.NonceSize; i++ {
+		n[i] = 0
+	}
 }
 
 func (s *Secure) dirOut() byte {
@@ -399,9 +498,17 @@ func (s *Secure) readFrame() ([]byte, error) {
 }
 
 // Read implements net.Conn: it delivers the next decrypted record bytes.
-// A record failing authentication poisons the connection — once ErrAuth
-// is returned, every later Read returns it too.
+// A record failing authentication poisons the connection in BOTH
+// directions — once ErrAuth is returned, every later Read and Write
+// returns it too (docs/WIRE.md §1.4). The steady-state path reuses the
+// connection's record buffers and allocates nothing.
 func (s *Secure) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		// Per the io.Reader contract a zero-length read returns (0, nil)
+		// without blocking; returning early also keeps a spinning caller
+		// from pulling records it cannot accept bytes from.
+		return 0, nil
+	}
 	if err := s.Handshake(); err != nil {
 		return 0, err
 	}
@@ -416,8 +523,7 @@ func (s *Secure) Read(p []byte) (int, error) {
 			s.rdBuf = s.rdBuf[n:]
 			return n, nil
 		}
-		var hdr [4]byte
-		if k, err := io.ReadFull(s.conn, hdr[:]); err != nil {
+		if k, err := io.ReadFull(s.conn, s.rdHdr[:]); err != nil {
 			// A clean close at a record boundary is a normal EOF, and
 			// deadlines / injected faults pass through unchanged — but
 			// once framing bytes have been consumed the stream can
@@ -429,12 +535,16 @@ func (s *Secure) Read(p []byte) (int, error) {
 			}
 			return 0, err
 		}
-		n := binary.BigEndian.Uint32(hdr[:])
-		if n < box.Overhead+1 || n > maxRecordPlain+1+box.Overhead {
+		ovh := s.aead.Overhead()
+		n := binary.BigEndian.Uint32(s.rdHdr[:])
+		if n < uint32(ovh)+1 || n > maxRecordPlain+1+uint32(ovh) {
 			s.fail(authErr("record of %d bytes", n))
 			return 0, s.rdErr
 		}
-		ct := make([]byte, n)
+		if cap(s.rdRec) < int(n) {
+			s.rdRec = make([]byte, n)
+		}
+		ct := s.rdRec[:n]
 		if _, err := io.ReadFull(s.conn, ct); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
@@ -442,9 +552,13 @@ func (s *Secure) Read(p []byte) (int, error) {
 			s.rdErr = fmt.Errorf("transport: record stream desynchronized: %w", err)
 			return 0, err
 		}
-		nonce := recordNonce(s.dirIn(), s.rdCtr)
-		pt, err := box.Open(ct, &nonce, &s.key)
-		if err != nil {
+		ptLen := int(n) - ovh
+		if cap(s.rdPt) < ptLen {
+			s.rdPt = make([]byte, ptLen)
+		}
+		pt := s.rdPt[:ptLen]
+		recordNonce(&s.rdNonce, s.dirIn(), s.rdCtr)
+		if err := s.aead.OpenInto(pt, ct, &s.rdNonce); err != nil {
 			s.fail(authErr("record %d rejected (tampered, replayed, or reordered)", s.rdCtr))
 			return 0, s.rdErr
 		}
@@ -455,8 +569,13 @@ func (s *Secure) Read(p []byte) (int, error) {
 		case recAlert:
 			// The peer authenticated this alert, so it genuinely saw our
 			// traffic fail verification: someone tampered with the other
-			// direction. No alert back — the peer already knows.
+			// direction. No alert back — the peer already knows — but
+			// the write direction is poisoned too: the peer will never
+			// accept another record of ours, and sending application
+			// data into a connection under active attack helps only the
+			// attacker.
 			s.rdErr = authErr("peer reported authentication failure on our traffic")
+			s.poisonWrite()
 			return 0, s.rdErr
 		default:
 			s.fail(authErr("unknown record type %d", pt[0]))
@@ -465,47 +584,108 @@ func (s *Secure) Read(p []byte) (int, error) {
 	}
 }
 
-// fail records a sticky receive-side authentication failure and tells
-// the peer via an authenticated alert on the still-trustworthy send
-// direction, so the peer can distinguish an active attack from a crash.
-// Best-effort twice over: the write is bounded by a short deadline
-// (clobbering any caller write deadline — the connection is dead
-// anyway), and if a concurrent writer holds the direction the alert is
-// skipped rather than blocking the Read that detected the forgery
+// errWriteAuthPoisoned is the sticky ErrAuth-classed error Write returns
+// after a receive-side authentication failure: no data record is ever
+// sealed on a connection known to be under active attack, and the caller
+// sees an authentication failure, not a misleading I/O error from a
+// connection the alert path already gave up on.
+var errWriteAuthPoisoned = fmt.Errorf("%w: write refused after authentication failure on this connection", ErrAuth)
+
+// poisonWrite marks the write direction permanently dead with an
+// ErrAuth-classed error, unless it already failed for another reason.
+// It reports whether this call did the poisoning, and never blocks: it
+// only takes wrStMu, so a Read that detected a forgery poisons writes
+// even while a concurrent Write holds wrMu.
+func (s *Secure) poisonWrite() bool {
+	s.wrStMu.Lock()
+	defer s.wrStMu.Unlock()
+	if s.wrErr != nil {
+		return false
+	}
+	s.wrErr = errWriteAuthPoisoned
+	return true
+}
+
+// fail records a sticky receive-side authentication failure, poisons the
+// write direction (no data record may follow a detected forgery), and
+// tells the peer via an authenticated alert on the still-trustworthy
+// send direction, so the peer can distinguish an active attack from a
+// crash. The alert is best-effort twice over: the write is bounded by a
+// short deadline (clobbering any caller write deadline — the connection
+// is dead anyway, and later Writes fail on the sticky error before
+// touching it), and if a concurrent writer holds the direction the alert
+// is skipped rather than blocking the Read that detected the forgery
 // behind a possibly-wedged Write.
 func (s *Secure) fail(err error) {
 	s.rdErr = err
+	if !s.poisonWrite() {
+		// The write direction was already dead; no alert can be sent.
+		return
+	}
 	if !s.wrMu.TryLock() {
 		return
 	}
 	defer s.wrMu.Unlock()
-	s.conn.SetWriteDeadline(time.Now().Add(500 * time.Millisecond))
-	s.writeRecord([]byte{recAlert})
+	s.conn.SetWriteDeadline(time.Now().Add(alertTimeout))
+	s.sealAndSend(alertRecord)
 }
 
-// writeRecord seals one record (type byte already included in pt) under
-// the next write-direction nonce. Caller holds wrMu. A failed write
-// poisons the whole direction: the record for nonce wrCtr may be
-// partially on the wire, and sealing different plaintext under the same
-// (key, nonce) — e.g. a retry after a write deadline — would reuse the
-// keystream and Poly1305 key. The connection must be dropped instead.
+// alertRecord is the one-byte fatal-alert plaintext.
+var alertRecord = []byte{recAlert}
+
+// writeRecord seals one data-path record (type byte already included in
+// pt) under the next write-direction nonce, refusing on a poisoned
+// direction. Caller holds wrMu.
 func (s *Secure) writeRecord(pt []byte) error {
-	if s.wrErr != nil {
-		return s.wrErr
+	s.wrStMu.Lock()
+	err := s.wrErr
+	s.wrStMu.Unlock()
+	if err != nil {
+		return err
 	}
-	nonce := recordNonce(s.dirOut(), s.wrCtr)
-	rec := make([]byte, 4+box.Overhead+len(pt))
-	binary.BigEndian.PutUint32(rec[:4], uint32(box.Overhead+len(pt)))
-	box.SealInto(rec[4:], pt, &nonce, &s.key)
-	if _, err := s.conn.Write(rec); err != nil {
-		s.wrErr = fmt.Errorf("transport: write direction poisoned after failed record: %w", err)
+	return s.sealAndSend(pt)
+}
+
+// sealAndSend seals one record into the reusable write buffers and sends
+// the 4-byte header + ciphertext as one vectored write (net.Buffers hits
+// writev on TCP, so coalescing costs no copy). Caller holds wrMu. A
+// failed write poisons the whole direction: the record for nonce wrCtr
+// may be partially on the wire, and sealing different plaintext under
+// the same (key, nonce) — e.g. a retry after a write deadline — would
+// reuse the keystream and authenticator key. The connection must be
+// dropped instead.
+func (s *Secure) sealAndSend(pt []byte) error {
+	ovh := s.aead.Overhead()
+	recordNonce(&s.wrNonce, s.dirOut(), s.wrCtr)
+	ctLen := ovh + len(pt)
+	if cap(s.wrCt) < ctLen+ovh {
+		// Overhead bytes of tail capacity beyond the ciphertext: the
+		// box.Keyed seal-scratch contract.
+		s.wrCt = make([]byte, ctLen, ctLen+ovh)
+	}
+	ct := s.wrCt[:ctLen]
+	s.aead.SealInto(ct, pt, &s.wrNonce)
+	binary.BigEndian.PutUint32(s.wrHdr[:], uint32(ctLen))
+	s.wrVecBase[0] = s.wrHdr[:]
+	s.wrVecBase[1] = ct
+	// WriteTo consumes its receiver, so hand it a throwaway view and
+	// keep the base intact for the next record.
+	s.wrVec = s.wrVecBase
+	if _, err := s.wrVec.WriteTo(s.conn); err != nil {
+		s.wrStMu.Lock()
+		if s.wrErr == nil {
+			s.wrErr = fmt.Errorf("transport: write direction poisoned after failed record: %w", err)
+		}
+		s.wrStMu.Unlock()
 		return err
 	}
 	s.wrCtr++
 	return nil
 }
 
-// Write implements net.Conn: p is split into encrypted data records.
+// Write implements net.Conn: p is split into encrypted data records of
+// at most the configured record size (WithRecordSize). The steady-state
+// path reuses the connection's staging buffers and allocates nothing.
 func (s *Secure) Write(p []byte) (int, error) {
 	if err := s.Handshake(); err != nil {
 		return 0, err
@@ -513,14 +693,23 @@ func (s *Secure) Write(p []byte) (int, error) {
 	s.wrMu.Lock()
 	defer s.wrMu.Unlock()
 	total := 0
-	pt := make([]byte, 1, 1+maxRecordPlain)
-	pt[0] = recData
+	max := s.recordPlain
+	if cap(s.wrPt) < 1+max {
+		grow := 1 + max
+		if grow > 1+len(p) {
+			// Never hold more staging than the largest write needs.
+			grow = 1 + len(p)
+		}
+		if cap(s.wrPt) < grow {
+			s.wrPt = make([]byte, 0, grow)
+		}
+	}
 	for len(p) > 0 {
 		chunk := p
-		if len(chunk) > maxRecordPlain {
-			chunk = chunk[:maxRecordPlain]
+		if len(chunk) > max {
+			chunk = chunk[:max]
 		}
-		pt = append(pt[:1], chunk...)
+		pt := append(append(s.wrPt[:0], recData), chunk...)
 		if err := s.writeRecord(pt); err != nil {
 			return total, err
 		}

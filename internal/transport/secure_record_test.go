@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"testing"
+
+	"vuvuzela/internal/crypto/box"
+)
+
+// recordSuites are the AEAD suites the record layer must behave
+// identically under.
+var recordSuites = []box.Suite{box.NaClSuite{}, box.GCMSuite{}}
+
+// securePipeOpts is securePipe with construction options applied to both
+// ends.
+func securePipeOpts(t *testing.T, opts ...SecureOption) (*Secure, *Secure, net.Conn, net.Conn) {
+	t.Helper()
+	cPub, cPriv := box.KeyPairFromSeed([]byte("secure-client"))
+	sPub, sPriv := box.KeyPairFromSeed([]byte("secure-server"))
+	cc, sc := net.Pipe()
+	t.Cleanup(func() { cc.Close(); sc.Close() })
+	client := SecureClient(cc, cPriv, sPub, opts...)
+	server := SecureServer(sc, sPriv, []box.PublicKey{cPub}, opts...)
+	return client, server, cc, sc
+}
+
+// TestSecureWriteAfterFailedRead is the regression test for the poisoned
+// write path: after a Read fails authentication, a later Write on the
+// same connection must return an ErrAuth-classed error — NOT succeed
+// (sealing data into a connection under active attack) and NOT surface
+// the alert path's short write deadline as a spurious timeout. The
+// receiving peer's authenticated alert must likewise poison ITS write
+// direction. Run under both suites.
+func TestSecureWriteAfterFailedRead(t *testing.T) {
+	for _, suite := range recordSuites {
+		t.Run(suite.Name(), func(t *testing.T) {
+			client, server, cc, _ := securePipeOpts(t, WithSuite(suite))
+
+			clientErr := make(chan error, 1)
+			go func() {
+				clientErr <- func() error {
+					if err := client.Handshake(); err != nil {
+						return err
+					}
+					// Inject one forged record: valid framing, garbage
+					// ciphertext.
+					forged := make([]byte, 4+1+suite.Overhead())
+					forged[3] = byte(1 + suite.Overhead())
+					if _, err := cc.Write(forged); err != nil {
+						return err
+					}
+					// The server's alert arrives on the intact direction.
+					if _, err := client.Read(make([]byte, 8)); !errors.Is(err, ErrAuth) {
+						return fmt.Errorf("alert read: got %v, want ErrAuth", err)
+					}
+					// An authenticated alert poisons the receiver's write
+					// direction too: the peer will never accept our records
+					// again.
+					if _, err := client.Write([]byte("x")); !errors.Is(err, ErrAuth) {
+						return fmt.Errorf("write after received alert: got %v, want ErrAuth", err)
+					}
+					return nil
+				}()
+			}()
+
+			if _, err := server.Read(make([]byte, 8)); !errors.Is(err, ErrAuth) {
+				t.Fatalf("forged record: got %v, want ErrAuth", err)
+			}
+			_, werr := server.Write([]byte("must not be sealed"))
+			if werr == nil {
+				t.Fatal("Write succeeded after a failed Read — data sealed after a detected forgery")
+			}
+			if !errors.Is(werr, ErrAuth) {
+				t.Fatalf("write after failed read: got %v, want ErrAuth", werr)
+			}
+			if errors.Is(werr, os.ErrDeadlineExceeded) {
+				t.Fatalf("write after failed read surfaced the alert deadline: %v", werr)
+			}
+			if err := <-clientErr; err != nil {
+				t.Fatalf("client: %v", err)
+			}
+		})
+	}
+}
+
+// TestSecureZeroLengthRead: Read with an empty buffer returns (0, nil)
+// immediately per the io.Reader contract — it must not block on the
+// handshake or pull (and drop bytes from) a record it cannot deliver.
+func TestSecureZeroLengthRead(t *testing.T) {
+	// No peer at all: a zero-length read must still return immediately.
+	cc, sc := net.Pipe()
+	defer cc.Close()
+	defer sc.Close()
+	_, cPriv := box.KeyPairFromSeed([]byte("secure-client"))
+	sPub, _ := box.KeyPairFromSeed([]byte("secure-server"))
+	lonely := SecureClient(cc, cPriv, sPub)
+	if n, err := lonely.Read(nil); n != 0 || err != nil {
+		t.Fatalf("zero-length read before handshake: (%d, %v), want (0, nil)", n, err)
+	}
+
+	// Established channel with a pending record: zero-length reads do not
+	// consume anything.
+	client, server, _, _ := securePipeOpts(t)
+	go client.Write([]byte("abc"))
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(server, buf[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := server.Read(buf[:0]); n != 0 || err != nil {
+		t.Fatalf("zero-length read mid-stream: (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := io.ReadFull(server, buf[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abc" {
+		t.Fatalf("zero-length read consumed data: got %q", buf)
+	}
+}
+
+// TestSecureSuiteRoundtrip: multi-record payloads cross intact under
+// every suite (the GCM fast path shares the NaCl wire layout).
+func TestSecureSuiteRoundtrip(t *testing.T) {
+	for _, suite := range recordSuites {
+		t.Run(suite.Name(), func(t *testing.T) {
+			client, server, _, _ := securePipeOpts(t, WithSuite(suite), WithRecordSize(1<<12))
+			payload := make([]byte, 3*(1<<12)+77)
+			for i := range payload {
+				payload[i] = byte(i * 17)
+			}
+			errc := make(chan error, 1)
+			go func() {
+				_, err := client.Write(payload)
+				errc <- err
+			}()
+			got := make([]byte, len(payload))
+			if _, err := io.ReadFull(server, got); err != nil {
+				t.Fatalf("server read: %v", err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("payload corrupted")
+			}
+			if err := <-errc; err != nil {
+				t.Fatalf("client write: %v", err)
+			}
+		})
+	}
+}
+
+// TestSecureRecordSizeInterop: the record size is the writer's choice and
+// readers MUST accept every size up to the protocol cap — a default
+// reader interoperates with both a legacy 64 KiB writer and a writer
+// using maximum-size records (docs/WIRE.md §1.3).
+func TestSecureRecordSizeInterop(t *testing.T) {
+	for _, size := range []int{1 << 16, maxRecordPlain} {
+		t.Run(fmt.Sprintf("writer-%d", size), func(t *testing.T) {
+			// Writer configured, reader left at defaults.
+			cPub, cPriv := box.KeyPairFromSeed([]byte("secure-client"))
+			sPub, sPriv := box.KeyPairFromSeed([]byte("secure-server"))
+			cc, sc := net.Pipe()
+			t.Cleanup(func() { cc.Close(); sc.Close() })
+			client := SecureClient(cc, cPriv, sPub, WithRecordSize(size))
+			server := SecureServer(sc, sPriv, []box.PublicKey{cPub})
+
+			payload := make([]byte, size+123)
+			for i := range payload {
+				payload[i] = byte(i * 13)
+			}
+			errc := make(chan error, 1)
+			go func() {
+				_, err := client.Write(payload)
+				errc <- err
+			}()
+			got := make([]byte, len(payload))
+			if _, err := io.ReadFull(server, got); err != nil {
+				t.Fatalf("server read: %v", err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("payload corrupted")
+			}
+			if err := <-errc; err != nil {
+				t.Fatalf("client write: %v", err)
+			}
+		})
+	}
+}
+
+// TestSecureSuiteMismatch: the suite is deployment configuration, not
+// negotiated — ends configured with different suites fail the first
+// record closed with ErrAuth instead of silently downgrading.
+func TestSecureSuiteMismatch(t *testing.T) {
+	cPub, cPriv := box.KeyPairFromSeed([]byte("secure-client"))
+	sPub, sPriv := box.KeyPairFromSeed([]byte("secure-server"))
+	cc, sc := net.Pipe()
+	t.Cleanup(func() { cc.Close(); sc.Close() })
+	client := SecureClient(cc, cPriv, sPub, WithSuite(box.NaClSuite{}))
+	server := SecureServer(sc, sPriv, []box.PublicKey{cPub}, WithSuite(box.GCMSuite{}))
+
+	go func() {
+		client.Write([]byte("hello under the wrong suite"))
+		// Drain whatever the server sends back (its alert) so its
+		// best-effort write does not have to wait out the deadline.
+		io.Copy(io.Discard, cc)
+	}()
+	if _, err := server.Read(make([]byte, 32)); !errors.Is(err, ErrAuth) {
+		t.Fatalf("suite mismatch: got %v, want ErrAuth", err)
+	}
+}

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+// TestReuseRecvBuffer pins the recycled-receive-buffer contract: decoding
+// stays correct across messages of growing and shrinking sizes, and a
+// message retained past the next Recv is visibly invalidated (its Body
+// aliases the recycled buffer) — the reason reuse is opt-in and only
+// enabled on strictly sequential request/reply loops.
+func TestReuseRecvBuffer(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender, receiver := NewConn(a), NewConn(b)
+	receiver.ReuseRecvBuffer(true)
+
+	msgs := []*Message{
+		{Kind: KindBatch, Proto: ProtoConvo, Round: 1, Body: [][]byte{bytes.Repeat([]byte{0xA1}, 64)}},
+		{Kind: KindBatch, Proto: ProtoConvo, Round: 2, Body: [][]byte{bytes.Repeat([]byte{0xB2}, 64)}},
+		// Larger than the recycled buffer: forces the growth path.
+		{Kind: KindBatch, Proto: ProtoConvo, Round: 3, Body: [][]byte{bytes.Repeat([]byte{0xC3}, 4096)}},
+		// Smaller again: the oversized buffer is re-sliced, not shrunk.
+		{Kind: KindBatch, Proto: ProtoConvo, Round: 4, Body: [][]byte{bytes.Repeat([]byte{0xD4}, 8)}},
+	}
+	go func() {
+		for _, m := range msgs {
+			sender.Send(m)
+		}
+	}()
+
+	first, err := receiver.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained := first.Body[0]
+	if !bytes.Equal(retained, msgs[0].Body[0]) {
+		t.Fatal("first message decoded wrong")
+	}
+	for _, want := range msgs[1:] {
+		got, err := receiver.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Round != want.Round || !bytes.Equal(got.Body[0], want.Body[0]) {
+			t.Fatalf("round %d decoded wrong under buffer reuse", want.Round)
+		}
+	}
+	// The retained slice aliases the recycled buffer and was clobbered by
+	// the second (equal-sized) message — exactly the hazard the Recv doc
+	// warns about. If this ever stops holding, reuse silently became a
+	// copy and the zero-alloc property is gone.
+	if bytes.Equal(retained, msgs[0].Body[0]) {
+		t.Fatal("message retained across Recv kept its contents — recycled buffer is not being reused")
+	}
+}

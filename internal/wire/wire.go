@@ -254,6 +254,12 @@ type Conn struct {
 	r *bufio.Reader
 	w *bufio.Writer
 	c io.Closer
+
+	// reuse enables the recycled receive buffer (ReuseRecvBuffer).
+	reuse bool
+	// rbuf is the recycled payload buffer Recv reads into when reuse is
+	// on; decoded messages alias it until the next Recv.
+	rbuf []byte
 }
 
 // NewConn wraps rwc (typically a net.Conn) for framed message exchange.
@@ -264,6 +270,16 @@ func NewConn(rwc io.ReadWriteCloser) *Conn {
 		c: rwc,
 	}
 }
+
+// ReuseRecvBuffer switches Recv to a recycled per-connection receive
+// buffer instead of allocating one per message. With reuse on, the
+// *Message returned by Recv — including every Body slice — aliases that
+// buffer and is valid only until the next Recv on this Conn; callers
+// must finish with (or copy out of) one message before receiving the
+// next. Meant for high-volume request/reply loops that fully consume
+// each message per iteration, like the router↔shard leg, where the
+// per-message allocation otherwise dominates the round's garbage.
+func (c *Conn) ReuseRecvBuffer(on bool) { c.reuse = on }
 
 // Send writes one message frame and flushes it.
 func (c *Conn) Send(m *Message) error {
@@ -282,7 +298,9 @@ func (c *Conn) Send(m *Message) error {
 	return c.w.Flush()
 }
 
-// Recv reads one message frame.
+// Recv reads one message frame. With ReuseRecvBuffer enabled the
+// returned message aliases the connection's recycled buffer and is valid
+// only until the next Recv.
 func (c *Conn) Recv() (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
@@ -292,7 +310,15 @@ func (c *Conn) Recv() (*Message, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if c.reuse {
+		if cap(c.rbuf) < int(n) {
+			c.rbuf = make([]byte, n)
+		}
+		payload = c.rbuf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(c.r, payload); err != nil {
 		return nil, fmt.Errorf("wire: recv payload: %w", err)
 	}
