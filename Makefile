@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check vet vuvuzela-vet staticcheck govulncheck lint build test race shardtest restart-matrix fuzz bench bench-record example-smoke clean
+.PHONY: check vet vuvuzela-vet staticcheck govulncheck lint build test race shardtest restart-matrix fuzz bench bench-record bench-entry example-smoke clean
 
 check: lint build race shardtest restart-matrix fuzz
 
@@ -84,6 +84,12 @@ bench:
 # (CI runs the -quick smoke form of the same command).
 bench-record:
 	$(GO) run ./cmd/vuvuzela-bench -json BENCH_transport.json record
+
+# Entry-tier load sweep: sustained round latency vs connected clients,
+# direct coordinator vs the stateless frontend tier, regenerating
+# BENCH_entry.json (CI runs the -quick smoke form of the same command).
+bench-entry:
+	$(GO) run ./cmd/vuvuzela-bench -json BENCH_entry.json entry
 
 clean:
 	$(GO) clean ./...

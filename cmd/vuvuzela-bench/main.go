@@ -78,6 +78,8 @@ func main() {
 			record()
 		case "pipeline":
 			pipeline()
+		case "entry":
+			entry()
 		case "all":
 			fig6()
 			fig7()
@@ -94,6 +96,7 @@ func main() {
 			shardnet()
 			record()
 			pipeline()
+			entry()
 		default:
 			usage()
 		}
@@ -101,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: vuvuzela-bench [-measure] [-scale N] fig6|fig7|fig8|fig9|fig10|fig11|posterior|costs|bandwidth|attack|shard|shardnet|record|pipeline|all")
+	fmt.Fprintln(os.Stderr, "usage: vuvuzela-bench [-measure] [-scale N] fig6|fig7|fig8|fig9|fig10|fig11|posterior|costs|bandwidth|attack|shard|shardnet|record|pipeline|entry|all")
 	os.Exit(2)
 }
 
@@ -549,6 +552,109 @@ func pipeline() {
 	}
 	fmt.Println("  (window w lets round r+1 collect submissions while round r")
 	fmt.Println("  traverses the chain; gains require spare cores)")
+}
+
+// entryPoint is one measured entry-tier load point for the JSON baseline.
+type entryPoint struct {
+	Frontends int     `json:"frontends"`
+	Clients   int     `json:"clients"`
+	Rounds    int     `json:"rounds"`
+	LatencyMS float64 `json:"round_latency_ms"`
+}
+
+// entryBaseline is the full -json output shape of the entry sweep
+// (BENCH_entry.json): a direct-coordinator series and a frontend-tier
+// series over the same client grid.
+type entryBaseline struct {
+	Servers   int          `json:"servers"`
+	Cores     int          `json:"cores"`
+	Frontends int          `json:"frontends"`
+	Direct    []entryPoint `json:"direct"`
+	Front     []entryPoint `json:"front"`
+}
+
+// entry drives the client-swarm load generator through full in-memory
+// deployments: every client on the coordinator (direct) vs the same
+// swarm spread across stateless frontends feeding partial batches over
+// one pipe. Every point requires full participation and reply delivery,
+// so each measurement is also an end-to-end correctness check. -quick
+// shrinks the sweep to a CI smoke, -json writes BENCH_entry.json.
+func entry() {
+	header("entry tier: sustained round latency vs connected clients (direct vs frontends)")
+	const (
+		servers   = 2
+		frontends = 2
+	)
+	clientCounts := []int{64, 192, 384}
+	rounds := 8
+	timeout := 10 * time.Second
+	if *quick {
+		clientCounts = []int{8}
+		rounds = 2
+		timeout = 5 * time.Second
+	}
+	base := entryBaseline{Servers: servers, Cores: runtime.NumCPU(), Frontends: frontends}
+	run := func(fe int, counts []int) []entryPoint {
+		label := "direct"
+		if fe > 0 {
+			label = fmt.Sprintf("%d frontends", fe)
+		}
+		var pts []entryPoint
+		for _, n := range counts {
+			pt, err := sim.MeasureEntryLoad(fe, n, rounds, servers, timeout)
+			if err != nil {
+				fmt.Println("  error:", err)
+				return pts
+			}
+			fmt.Printf("  %-12s %6d clients  %12v/round\n",
+				label, n, pt.RoundLatency.Round(time.Millisecond))
+			pts = append(pts, entryPoint{
+				Frontends: fe, Clients: n, Rounds: pt.Rounds, LatencyMS: ms(pt.RoundLatency),
+			})
+		}
+		return pts
+	}
+	fmt.Printf("  %d chain servers, every client participates in every round:\n", servers)
+	base.Direct = run(0, clientCounts)
+	// The frontend series extends past the direct grid: the interesting
+	// question is how many clients the tier sustains at the direct
+	// baseline's worst latency, not just matched-count overhead.
+	frontCounts := clientCounts
+	if !*quick {
+		frontCounts = append(append([]int{}, clientCounts...), clientCounts[len(clientCounts)-1]*3/2)
+	}
+	base.Front = run(frontends, frontCounts)
+	if n := len(base.Direct); n > 0 && len(base.Front) >= n {
+		d, f := base.Direct[n-1], base.Front[n-1]
+		fmt.Printf("  at %d clients the frontend tier costs %.2fx the direct path\n",
+			d.Clients, f.LatencyMS/d.LatencyMS)
+		sustained := 0
+		for _, pt := range base.Front {
+			if pt.LatencyMS <= d.LatencyMS && pt.Clients > sustained {
+				sustained = pt.Clients
+			}
+		}
+		if sustained > 0 {
+			fmt.Printf("  frontend tier sustains %d clients within the direct baseline's\n", sustained)
+			fmt.Printf("  %d-client latency (%.0fms)\n", d.Clients, d.LatencyMS)
+		}
+	}
+	fmt.Printf("  (%d cores, one machine; the coordinator holds zero client\n", runtime.NumCPU())
+	fmt.Println("  connections behind frontends, so capacity scales with frontend")
+	fmt.Println("  machines added — this verifies the split costs ≈nothing per round)")
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fmt.Println("  json error:", err)
+			return
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Println("  json error:", err)
+			return
+		}
+		fmt.Printf("  wrote %s\n", *jsonOut)
+	}
 }
 
 func attack() {

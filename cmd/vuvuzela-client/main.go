@@ -37,6 +37,7 @@ func main() {
 	chainPath := flag.String("chain", "chain.json", "chain config file")
 	keyPath := flag.String("key", "", "user identity file")
 	usersPath := flag.String("users", "users.json", "PKI directory file")
+	frontIdx := flag.Int("frontend", -1, "connect through this frontend index instead of spreading by key (only meaningful when the chain config lists frontends)")
 	flag.Parse()
 	if *keyPath == "" {
 		flag.Usage()
@@ -56,20 +57,32 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// With a frontend tier deployed, spread clients across it: the key's
+	// first byte picks a frontend unless -frontend pins one. Every
+	// frontend speaks the same client protocol as the entry itself.
+	addrs := chain.ClientAddrs()
+	addr := addrs[int(me.PublicKey[0])%len(addrs)]
+	if *frontIdx >= 0 {
+		if *frontIdx >= len(addrs) {
+			log.Fatalf("-frontend %d out of range: chain config lists %d client addresses", *frontIdx, len(addrs))
+		}
+		addr = addrs[*frontIdx]
+	}
+
 	c, err := client.Dial(client.Config{
 		Pub:       box.PublicKey(me.PublicKey),
 		Priv:      box.PrivateKey(me.PrivateKey),
 		ChainPubs: chain.PublicKeys(),
-		//vuvuzela:allow plaintexttransport the entry and CDN legs carry only onion-sealed requests and public bucket data; the entry server is untrusted (docs/THREAT_MODEL.md §2)
+		//vuvuzela:allow plaintexttransport the entry and CDN legs carry only onion-sealed requests and public bucket data; the entry tier is untrusted (docs/THREAT_MODEL.md §2)
 		Net:       transport.TCP{},
-		EntryAddr: chain.EntryAddr,
+		EntryAddr: addr,
 		CDNAddr:   chain.CDNAddr(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	fmt.Printf("connected to %s as %s\n", chain.EntryAddr, me.Name)
+	fmt.Printf("connected to %s as %s\n", addr, me.Name)
 
 	// Event printer.
 	go func() {

@@ -28,11 +28,23 @@ func main() {
 	submitTimeout := flag.Duration("submit-timeout", 5*time.Second, "how long to wait for client submissions")
 	convoWindow := flag.Int("convo-window", 1, "conversation rounds kept in flight at once (pipelined timer mode; 1 = serial)")
 	roundState := flag.String("round-state", "", "file durably recording the announced round numbers, so a restarted entry resumes numbering instead of re-issuing rounds a durable chain already consumed (empty = in-memory only; see docs/THREAT_MODEL.md)")
+	keyPath := flag.String("key", "", "entry.key file holding the frontend-pipe identity; required when the chain config names an entry_front_addr")
 	flag.Parse()
 
 	chain, err := config.LoadChain(*chainPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var frontKey box.PrivateKey
+	if chain.EntryFrontAddr != "" {
+		if *keyPath == "" {
+			log.Fatalf("chain config names frontend pipe %s but no -key file was given", chain.EntryFrontAddr)
+		}
+		k, err := config.LoadServerKey(*keyPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frontKey = box.PrivateKey(k.PrivateKey)
 	}
 	var store *roundstate.Counters
 	if *roundState != "" {
@@ -56,6 +68,7 @@ func main() {
 		DialInterval:  *dialEvery,
 		ConvoWindow:   *convoWindow,
 		RoundState:    store,
+		FrontIdentity: frontKey,
 		OnRoundError: func(proto wire.Proto, round uint64, err error) {
 			// Round failures are transient (the next tick retries with a
 			// fresh round), but a persistent cause — unreachable chain,
@@ -74,6 +87,18 @@ func main() {
 	l, err := transport.TCP{}.Listen(chain.EntryAddr) //vuvuzela:allow plaintexttransport client-facing listener; clients are untrusted and their requests arrive onion-sealed for the chain
 	if err != nil {
 		log.Fatal(err)
+	}
+	if chain.EntryFrontAddr != "" {
+		fl, err := transport.TCP{}.Listen(chain.EntryFrontAddr) //vuvuzela:allow plaintexttransport substrate only: ServeFrontends wraps every accepted pipe in transport.Secure keyed to the entry.key identity
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := co.ServeFrontends(fl); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		log.Printf("frontend pipes on %s", chain.EntryFrontAddr)
 	}
 	log.Printf("vuvuzela entry server on %s → chain head %s (convo %v, dial %v)",
 		chain.EntryAddr, chain.Servers[0].Addr, *convoEvery, *dialEvery)

@@ -1,0 +1,74 @@
+// vuvuzela-frontend runs one stateless entry frontend: it holds client
+// connections, relays the coordinator's round announcements, collects
+// and validates this frontend's share of each round's submissions, and
+// forwards them as one partial batch over an authenticated pipe to the
+// entry server. Frontends keep no round state, so any number of them can
+// run behind one entry and a crashed frontend is replaced by simply
+// starting another (clients reconnect to any live one).
+//
+// Like the entry server itself, a frontend is untrusted (paper §7):
+// everything it handles is onion-sealed for the chain, so a malicious
+// frontend can only deny service to its own clients.
+//
+// Usage:
+//
+//	vuvuzela-frontend -chain deploy/chain.json -index 0
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+
+	"vuvuzela/internal/config"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/frontend"
+	"vuvuzela/internal/transport"
+)
+
+func main() {
+	chainPath := flag.String("chain", "chain.json", "chain config file")
+	index := flag.Int("index", 0, "which entry in the chain config's frontends list this process serves")
+	listen := flag.String("listen", "", "client-facing listen address (overrides the frontends list entry)")
+	maxClients := flag.Int("max-clients", 0, "shed client connections beyond this count (0 = unlimited)")
+	flag.Parse()
+
+	chain, err := config.LoadChain(*chainPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if chain.EntryFrontAddr == "" {
+		log.Fatalf("chain config %s has no entry_front_addr; regenerate it with vuvuzela-keygen chain -frontends N", *chainPath)
+	}
+	addr := *listen
+	if addr == "" {
+		if *index < 0 || *index >= len(chain.Frontends) {
+			log.Fatalf("-index %d out of range: chain config lists %d frontends", *index, len(chain.Frontends))
+		}
+		addr = chain.Frontends[*index]
+	}
+
+	fe, err := frontend.New(frontend.Config{
+		//vuvuzela:allow plaintexttransport substrate only: the frontend wraps its coordinator pipe in transport.SecureClient keyed to the chain's entry_front_key
+		Net:        transport.TCP{},
+		CoordAddr:  chain.EntryFrontAddr,
+		CoordPub:   box.PublicKey(chain.EntryFrontKey),
+		MaxClients: *maxClients,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := transport.TCP{}.Listen(addr) //vuvuzela:allow plaintexttransport client-facing listener; clients are untrusted and their requests arrive onion-sealed for the chain
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := fe.Serve(l); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("vuvuzela frontend on %s → entry pipe %s", addr, chain.EntryFrontAddr)
+	if err := fe.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+}

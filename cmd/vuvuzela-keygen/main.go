@@ -35,7 +35,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  vuvuzela-keygen chain -servers N -out DIR [-shards K] [-host HOST] [-base-port PORT] [-mu MU] [-b B] [-dial-mu MU] [-dial-b B] [-dial-buckets M]
+  vuvuzela-keygen chain -servers N -out DIR [-shards K] [-frontends F] [-host HOST] [-base-port PORT] [-mu MU] [-b B] [-dial-mu MU] [-dial-b B] [-dial-buckets M]
   vuvuzela-keygen user  -name NAME -out DIR`)
 	os.Exit(2)
 }
@@ -44,6 +44,7 @@ func chainCmd(args []string) {
 	fs := flag.NewFlagSet("chain", flag.ExitOnError)
 	servers := fs.Int("servers", 3, "number of chain servers")
 	shards := fs.Int("shards", 0, "networked dead-drop shard servers behind the last server (0 = in-process exchange)")
+	frontends := fs.Int("frontends", 0, "stateless entry frontends in front of the entry server (0 = clients connect to the entry directly)")
 	out := fs.String("out", ".", "output directory")
 	host := fs.String("host", "127.0.0.1", "host for generated addresses")
 	basePort := fs.Int("base-port", 2719, "first server port (entry uses base-port-1, CDN uses base-port+servers, shards follow the CDN)")
@@ -100,6 +101,27 @@ func chainCmd(args []string) {
 		}
 		fmt.Printf("wrote %s\n", keyPath)
 	}
+	// Frontends take ports above the shards; the entry's frontend-pipe
+	// listener sits below the client-facing entry port, and its private
+	// key goes to entry.key (the frontends hold no long-term keys — they
+	// are untrusted like the entry itself, §7).
+	if *frontends > 0 {
+		pub, priv, err := box.GenerateKey(nil)
+		if err != nil {
+			fatal(err)
+		}
+		chain.EntryFrontAddr = fmt.Sprintf("%s:%d", *host, *basePort-2)
+		chain.EntryFrontKey = config.Key(pub)
+		for i := 0; i < *frontends; i++ {
+			chain.Frontends = append(chain.Frontends,
+				fmt.Sprintf("%s:%d", *host, *basePort+*servers+1+*shards+i))
+		}
+		keyPath := filepath.Join(*out, "entry.key")
+		if err := config.Save(keyPath, &config.ServerKey{Position: -1, PrivateKey: config.Key(priv)}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", keyPath)
+	}
 	// The same validation LoadChain applies on every read: no zero or
 	// duplicated keys, no empty addresses. The chain keys the
 	// authenticated router↔shard channels, so a bad descriptor must die
@@ -111,7 +133,11 @@ func chainCmd(args []string) {
 	if err := config.Save(chainPath, chain); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d servers, %d shards, entry %s)\n", chainPath, *servers, *shards, chain.EntryAddr)
+	fmt.Printf("wrote %s (%d servers, %d shards, %d frontends, entry %s)\n", chainPath, *servers, *shards, *frontends, chain.EntryAddr)
+	if *frontends > 0 {
+		fmt.Printf("frontends authenticate the entry's pipe key; run each with\n  vuvuzela-frontend -chain %s -index I\nand the entry with -key %s\n",
+			chainPath, filepath.Join(*out, "entry.key"))
+	}
 	if *shards > 0 {
 		fmt.Printf("shard servers authenticate the last server's key; run each with\n  vuvuzela-server -chain %s -key %s -mode shard\n",
 			chainPath, filepath.Join(*out, "shard-K.key"))

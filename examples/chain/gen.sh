@@ -12,9 +12,9 @@ OUT=${OUT:-deploy}
 BASE_PORT=${BASE_PORT:-2719}
 
 go build -o "$OUT/bin/" "$REPO/cmd/vuvuzela-keygen" "$REPO/cmd/vuvuzela-server" \
-    "$REPO/cmd/vuvuzela-entry" "$REPO/cmd/vuvuzela-client"
+    "$REPO/cmd/vuvuzela-entry" "$REPO/cmd/vuvuzela-frontend" "$REPO/cmd/vuvuzela-client"
 
-"$OUT/bin/vuvuzela-keygen" chain -servers 3 -shards 2 -out "$OUT" \
+"$OUT/bin/vuvuzela-keygen" chain -servers 3 -shards 2 -frontends 2 -out "$OUT" \
     -base-port "$BASE_PORT" -mu 20 -b 5 -dial-mu 5 -dial-b 2
 "$OUT/bin/vuvuzela-keygen" user -name alice -out "$OUT"
 "$OUT/bin/vuvuzela-keygen" user -name bob -out "$OUT"
@@ -26,6 +26,8 @@ echo "  ./run-shard.sh 1        # dead-drop shard 1"
 echo "  ./run-server.sh 2       # last server (shard router + CDN)"
 echo "  ./run-server.sh 1       # middle server"
 echo "  ./run-server.sh 0       # first server (entry leg)"
-echo "  ./run-entry.sh          # entry server (round timers)"
-echo "then talk:"
+echo "  ./run-entry.sh          # entry server (round timers + frontend pipes)"
+echo "  ./run-frontend.sh 0     # stateless entry frontend 0"
+echo "  ./run-frontend.sh 1     # stateless entry frontend 1"
+echo "then talk (clients connect through the frontends; see chain.json):"
 echo "  $OUT/bin/vuvuzela-client -chain $OUT/chain.json -key $OUT/alice.key -users $OUT/users.json"

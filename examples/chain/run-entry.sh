@@ -8,6 +8,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 exec "${OUT:-deploy}/bin/vuvuzela-entry" \
     -chain "${OUT:-deploy}/chain.json" \
+    -key "${OUT:-deploy}/entry.key" \
     -convo-interval "${CONVO_INTERVAL:-1s}" \
     -dial-interval "${DIAL_INTERVAL:-2s}" \
     -submit-timeout "${SUBMIT_TIMEOUT:-800ms}" \

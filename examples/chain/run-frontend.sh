@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs stateless entry frontend $1 of the examples/chain deployment.
+# Frontends keep no round state at all: kill one mid-round and start it
+# again (or start a fresh one on the same address) — its clients
+# reconnect and the entry server's rounds never stall on the dead pipe.
+set -euo pipefail
+cd "$(dirname "$0")"
+i=${1:?usage: run-frontend.sh INDEX}
+exec "${OUT:-deploy}/bin/vuvuzela-frontend" \
+    -chain "${OUT:-deploy}/chain.json" \
+    -index "$i"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI smoke for the examples/chain deployment (`make example-smoke`):
-# builds the real binaries, generates a fresh 3-server + 2-shard config
-# on ephemeral loopback ports, boots every process, and runs the smoke
-# driver, which dials one user from the other and exchanges a message
+# builds the real binaries, generates a fresh 3-server + 2-shard +
+# 2-frontend config on ephemeral loopback ports, boots every process,
+# and runs the smoke driver, which connects one client to each
+# frontend, dials one user from the other, and exchanges a message
 # each way over the fully authenticated chain. Exits non-zero if any
 # process dies or the messages do not arrive.
 set -euo pipefail
@@ -20,21 +21,22 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== building binaries"
-go build -o "$WORK/bin/" ./cmd/vuvuzela-keygen ./cmd/vuvuzela-server ./cmd/vuvuzela-entry
+go build -o "$WORK/bin/" ./cmd/vuvuzela-keygen ./cmd/vuvuzela-server ./cmd/vuvuzela-entry ./cmd/vuvuzela-frontend
 go build -o "$WORK/bin/smoke" ./examples/chain/smoke
 
 # A port block derived from the PID keeps parallel CI jobs from
-# colliding; the deployment needs base-1 .. base+6. Staying below 32768
+# colliding; the deployment needs base-2 .. base+7 (frontend pipe below
+# the entry port, frontends above the shards). Staying below 32768
 # keeps the block out of the kernel's ephemeral port range, where a
 # transient outbound connection could already hold a port.
-BASE_PORT=$(( 10000 + ($$ % 2000) * 10 + 1 ))
+BASE_PORT=$(( 10000 + ($$ % 2000) * 10 + 2 ))
 echo "== generating config (base port $BASE_PORT)"
-"$WORK/bin/vuvuzela-keygen" chain -servers 3 -shards 2 -out "$WORK/deploy" \
+"$WORK/bin/vuvuzela-keygen" chain -servers 3 -shards 2 -frontends 2 -out "$WORK/deploy" \
     -base-port "$BASE_PORT" -mu 20 -b 5 -dial-mu 5 -dial-b 2
 "$WORK/bin/vuvuzela-keygen" user -name alice -out "$WORK/deploy"
 "$WORK/bin/vuvuzela-keygen" user -name bob -out "$WORK/deploy"
 
-echo "== starting shards, servers, entry"
+echo "== starting shards, servers, entry, frontends"
 for i in 0 1; do
     "$WORK/bin/vuvuzela-server" -chain "$WORK/deploy/chain.json" \
         -key "$WORK/deploy/shard-$i.key" -mode shard \
@@ -48,9 +50,15 @@ for i in 2 1 0; do
     PIDS+=($!)
 done
 "$WORK/bin/vuvuzela-entry" -chain "$WORK/deploy/chain.json" \
+    -key "$WORK/deploy/entry.key" \
     -convo-interval 400ms -dial-interval 1s -submit-timeout 300ms \
     -convo-window 2 -round-state "$WORK/deploy/entry.rounds" >"$WORK/entry.log" 2>&1 &
 PIDS+=($!)
+for i in 0 1; do
+    "$WORK/bin/vuvuzela-frontend" -chain "$WORK/deploy/chain.json" \
+        -index "$i" >"$WORK/frontend-$i.log" 2>&1 &
+    PIDS+=($!)
+done
 
 sleep 1
 for pid in "${PIDS[@]}"; do

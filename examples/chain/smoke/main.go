@@ -1,8 +1,9 @@
 // Command smoke is the non-interactive end-to-end check behind
 // `make example-smoke`: against an already-running examples/chain
-// deployment (3 chain servers, 2 dead-drop shards, 1 entry server — all
-// separate processes on loopback TCP, every inter-node leg inside
-// transport.Secure), it connects two clients, dials one from the other
+// deployment (3 chain servers, 2 dead-drop shards, 1 entry server, and
+// 2 stateless frontends — all separate processes on loopback TCP, every
+// inter-node leg inside transport.Secure), it connects one client to
+// each frontend, dials one from the other
 // through the dialing protocol, exchanges a message each way through the
 // conversation protocol, and exits 0 only if both arrive.
 package main
@@ -31,11 +32,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	alice := dialUser(chain, *alicePath)
+	// With a frontend tier deployed the two clients land on different
+	// frontends, so the smoke also proves partial batches from separate
+	// pipes merge into one round.
+	addrs := chain.ClientAddrs()
+	alice := dialUser(chain, addrs[0], *alicePath)
 	defer alice.Close()
-	bob := dialUser(chain, *bobPath)
+	bob := dialUser(chain, addrs[len(addrs)-1], *bobPath)
 	defer bob.Close()
-	log.Printf("both clients connected to %s", chain.EntryAddr)
+	log.Printf("clients connected via %v", addrs)
 
 	deadline := time.Now().Add(*timeout)
 
@@ -73,8 +78,10 @@ func main() {
 	fmt.Println("SMOKE OK: invitation delivered and messages exchanged both ways")
 }
 
-// dialUser connects one client from its identity file.
-func dialUser(chain *config.Chain, keyPath string) *client.Client {
+// dialUser connects one client from its identity file to the given
+// entry-tier address (the entry itself or one of its frontends — the
+// client protocol is identical on both).
+func dialUser(chain *config.Chain, addr, keyPath string) *client.Client {
 	me, err := config.LoadUserKey(keyPath)
 	if err != nil {
 		log.Fatal(err)
@@ -83,9 +90,9 @@ func dialUser(chain *config.Chain, keyPath string) *client.Client {
 		Pub:       box.PublicKey(me.PublicKey),
 		Priv:      box.PrivateKey(me.PrivateKey),
 		ChainPubs: chain.PublicKeys(),
-		//vuvuzela:allow plaintexttransport the entry and CDN legs carry only onion-sealed requests and public bucket data; the entry server is untrusted (docs/THREAT_MODEL.md §2)
+		//vuvuzela:allow plaintexttransport the entry and CDN legs carry only onion-sealed requests and public bucket data; the entry tier is untrusted (docs/THREAT_MODEL.md §2)
 		Net:       transport.TCP{},
-		EntryAddr: chain.EntryAddr,
+		EntryAddr: addr,
 		CDNAddr:   chain.CDNAddr(),
 	})
 	if err != nil {

@@ -54,6 +54,20 @@ type Server struct {
 type Chain struct {
 	// EntryAddr is the entry server's client-facing address.
 	EntryAddr string `json:"entry_addr"`
+	// EntryFrontAddr is where the entry server listens for its frontend
+	// pipes (`vuvuzela-frontend`); empty when the deployment has no
+	// frontend tier and every client connects to EntryAddr directly.
+	EntryFrontAddr string `json:"entry_front_addr,omitempty"`
+	// EntryFrontKey is the public half of the entry server's
+	// frontend-pipe identity (the private half lives in entry.key);
+	// frontends authenticate the pipe against it so a network adversary
+	// cannot impersonate the round clock. Zero when EntryFrontAddr is
+	// empty.
+	EntryFrontKey Key `json:"entry_front_key,omitempty"`
+	// Frontends lists the client-facing addresses of the stateless entry
+	// frontends, in index order. Empty means clients connect to
+	// EntryAddr directly.
+	Frontends []string `json:"frontends,omitempty"`
 	// Servers lists the chain in order; clients onion-encrypt for all of
 	// them, entry connects to Servers[0].
 	Servers []Server `json:"servers"`
@@ -87,6 +101,16 @@ func (c *Chain) PublicKeys() []box.PublicKey {
 		out[i] = box.PublicKey(s.PublicKey)
 	}
 	return out
+}
+
+// ClientAddrs returns the addresses clients should connect to: the
+// frontend tier when one is deployed, otherwise the entry server
+// itself. Callers spread their clients across the returned slice.
+func (c *Chain) ClientAddrs() []string {
+	if len(c.Frontends) > 0 {
+		return c.Frontends
+	}
+	return []string{c.EntryAddr}
 }
 
 // CDNAddr returns the last server's bucket-serving address.
@@ -158,12 +182,25 @@ func (c *Chain) Validate() error {
 			return err
 		}
 	}
+	if len(c.Frontends) > 0 && c.EntryFrontAddr == "" {
+		return fmt.Errorf("config: frontends listed but no entry_front_addr for their pipes")
+	}
+	if c.EntryFrontAddr != "" {
+		if err := check("entry front pipe", Server{Addr: c.EntryFrontAddr, PublicKey: c.EntryFrontKey}); err != nil {
+			return err
+		}
+		for i, a := range c.Frontends {
+			if a == "" {
+				return fmt.Errorf("config: frontend %d has no address", i)
+			}
+		}
+	}
 	return nil
 }
 
 // ServerKey is a server's private key file.
 type ServerKey struct {
-	Position   int `json:"position"`    // index into Chain.Servers
+	Position   int `json:"position"`    // index into Chain.Servers; -1 for the entry's frontend-pipe key, which belongs to no chain position
 	PrivateKey Key `json:"private_key"` // the server's long-term private key
 }
 

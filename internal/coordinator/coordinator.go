@@ -1,7 +1,16 @@
 // Package coordinator implements Vuvuzela's entry server (paper §7): an
-// untrusted front that maintains client connections, announces rounds,
-// multiplexes one fixed-size request per client per round into a single
-// batch for the chain, and demultiplexes the results back to clients.
+// untrusted front that announces rounds, multiplexes one fixed-size
+// request per client per round into a single batch for the chain, and
+// demultiplexes the results back.
+//
+// The entry tier is split in two so collection scales horizontally:
+// the coordinator keeps the round clock, the collect→chain→fanout
+// pipeline, durable round state, and the chain RPC; any number of
+// stateless entry frontends (internal/frontend) hold the bulk of the
+// client connections and forward one validated partial batch per round
+// over an authenticated pipe (ServeFrontends, wire.KindFrontBatch).
+// Clients may also connect to the coordinator directly (Serve) — small
+// deployments and tests skip the frontend tier entirely.
 //
 // It coordinates both protocols: conversation rounds (with a reply path)
 // and dialing rounds (publish-only; clients fetch buckets from the CDN).
@@ -50,6 +59,14 @@ type Config struct {
 	// untrusted, §7), so this may be left zero and New generates a fresh
 	// one per process.
 	Identity box.PrivateKey
+
+	// FrontIdentity is the coordinator's key for the frontend pipe
+	// listener (ServeFrontends). Frontends authenticate the coordinator
+	// by this key's public half before forwarding a single onion; the
+	// coordinator accepts any frontend identity — frontends, like the
+	// entry tier as a whole, are untrusted (§7). Required only when
+	// ServeFrontends is used.
+	FrontIdentity box.PrivateKey
 
 	// DialBuckets is the number of invitation dead drops (m) announced
 	// for each dialing round (§5.4). Defaults to 1, the optimum at small
@@ -125,6 +142,7 @@ type Coordinator struct {
 
 	mu      sync.Mutex
 	clients map[*clientConn]struct{}
+	fronts  map[*clientConn]struct{}
 	pending map[wire.Proto]*roundState
 	convoR  uint64
 	dialR   uint64
@@ -136,15 +154,21 @@ type Coordinator struct {
 	closeCh   chan struct{}
 }
 
-// clientConn is one connected client. Outbound messages go through a
-// buffered queue drained by a dedicated writer goroutine, so one stalled
-// client can never block a round's announce/reply loop — the entry-server
-// DoS resilience §9 calls for. A client whose queue overflows is dropped.
+// clientConn is one connected client or entry-frontend pipe. Outbound
+// messages go through a buffered queue drained by a dedicated writer
+// goroutine, so one stalled peer can never block a round's
+// announce/reply loop — the entry-server DoS resilience §9 calls for. A
+// peer whose queue overflows is dropped.
 type clientConn struct {
 	conn   *wire.Conn
 	out    chan *wire.Message
 	closed chan struct{}
 	once   sync.Once
+	// front marks an entry-frontend pipe: its announces carry the
+	// submit-timeout budget, its submissions arrive as
+	// wire.KindFrontBatch, and its replies leave as
+	// wire.KindFrontReplies.
+	front bool
 }
 
 // errClientStalled marks a client dropped for not draining its queue.
@@ -195,30 +219,87 @@ func (cc *clientConn) close() {
 	})
 }
 
-// roundState collects one round's submissions.
+// roundState collects one round's submissions from the announce-time
+// snapshot of direct clients and frontend pipes.
 type roundState struct {
 	round uint64
-	// perClient is the fixed number of onions each client must submit
-	// (ConvoExchanges for conversations, 1 for dialing).
+	// perClient is the fixed number of onions each end client must
+	// submit (ConvoExchanges for conversations, 1 for dialing).
 	perClient int
-	mu        sync.Mutex
-	subs      map[*clientConn][][]byte
-	// full fires when every client known at announce time has submitted.
-	want int
-	full chan struct{}
+
+	mu sync.Mutex
+	// members is the announce-time snapshot: only these connections may
+	// contribute. A connection that joined after the announcement waits
+	// for the next round — letting it vote here would close the round
+	// early while the snapshot-ordered batch build dropped its onions.
+	members map[*clientConn]struct{}
+	// subs holds each member's recorded submission: exactly perClient
+	// onions for a direct client, M·perClient onions in demux order for
+	// a frontend's partial batch.
+	subs map[*clientConn][][]byte
+	// missing counts members that have neither submitted nor
+	// disconnected; full fires when it reaches zero.
+	missing int
+	// closed marks the round finished — batch built or aborted — after
+	// which record and drop are rejected.
+	closed bool
+	full   chan struct{}
 }
 
-func (rs *roundState) add(cc *clientConn, onions [][]byte) {
-	if len(onions) != rs.perClient {
-		return // malformed submission: wrong exchange count
-	}
+// Round-membership rejections. Callers treat these as per-message noise
+// (drop the submission, keep the connection): none of them indicate a
+// broken peer, just unfortunate timing.
+var (
+	errRoundClosed = errors.New("coordinator: round closed")
+	errNotMember   = errors.New("coordinator: not in round snapshot")
+	errDuplicate   = errors.New("coordinator: duplicate submission")
+)
+
+// record stores a member's submission and closes the round once the
+// last outstanding member is accounted for. Non-members are rejected so
+// a late joiner can neither fire full early nor have its onions
+// silently dropped by the snapshot-ordered batch build.
+func (rs *roundState) record(cc *clientConn, onions [][]byte) error {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
+	if rs.closed {
+		return errRoundClosed
+	}
+	if _, ok := rs.members[cc]; !ok {
+		return errNotMember
+	}
 	if _, dup := rs.subs[cc]; dup {
-		return // one submission per client per round
+		return errDuplicate
 	}
 	rs.subs[cc] = onions
-	if len(rs.subs) == rs.want {
+	rs.missing--
+	if rs.missing == 0 {
+		close(rs.full)
+	}
+	return nil
+}
+
+// drop removes a disconnected member that has not submitted, so a round
+// with churn closes as soon as every remaining member has submitted
+// instead of burning the full SubmitTimeout waiting on a dead
+// connection. A member that already submitted keeps its slot — its
+// onions are in the batch whether or not anyone is left to receive the
+// reply.
+func (rs *roundState) drop(cc *clientConn) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.closed {
+		return
+	}
+	if _, ok := rs.members[cc]; !ok {
+		return
+	}
+	if _, submitted := rs.subs[cc]; submitted {
+		return
+	}
+	delete(rs.members, cc)
+	rs.missing--
+	if rs.missing == 0 {
 		close(rs.full)
 	}
 }
@@ -258,6 +339,7 @@ func New(cfg Config) (*Coordinator, error) {
 	co := &Coordinator{
 		cfg:     cfg,
 		clients: make(map[*clientConn]struct{}),
+		fronts:  make(map[*clientConn]struct{}),
 		pending: make(map[wire.Proto]*roundState),
 		chain:   make(map[wire.Proto]*wire.Conn),
 		closeCh: make(chan struct{}),
@@ -272,11 +354,20 @@ func New(cfg Config) (*Coordinator, error) {
 	return co, nil
 }
 
-// NumClients returns the number of connected clients.
+// NumClients returns the number of directly connected clients (it does
+// not count end clients behind frontends, which the coordinator only
+// learns per round from each KindFrontBatch).
 func (co *Coordinator) NumClients() int {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	return len(co.clients)
+}
+
+// NumFrontends returns the number of connected entry-frontend pipes.
+func (co *Coordinator) NumFrontends() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.fronts)
 }
 
 // Serve accepts client connections until the listener closes.
@@ -299,20 +390,96 @@ func (co *Coordinator) Serve(l net.Listener) error {
 	}
 }
 
-// readLoop receives client submissions and routes them to the open round.
+// ServeFrontends accepts entry-frontend pipes until the listener
+// closes. Each connection is wrapped in transport.Secure with the
+// frontend authenticating Config.FrontIdentity's public key; any
+// frontend identity is accepted (frontends are untrusted, §7). A
+// connected frontend is a round participant like a direct client: it is
+// announced to, counts once toward round completion, and must answer
+// each announcement with exactly one wire.KindFrontBatch — possibly
+// empty — so rounds still close early when every frontend reports.
+func (co *Coordinator) ServeFrontends(l net.Listener) error {
+	if co.cfg.FrontIdentity == (box.PrivateKey{}) {
+		return errors.New("coordinator: ServeFrontends needs Config.FrontIdentity")
+	}
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			select {
+			case <-co.closeCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		go co.handleFrontend(raw)
+	}
+}
+
+// handleFrontend runs the secure handshake for one frontend pipe and
+// registers it. Unlike the chain's lazy accept path, the handshake runs
+// to completion under a deadline before registration: the coordinator
+// writes announcements proactively, so it cannot defer key agreement to
+// the first inbound frame.
+func (co *Coordinator) handleFrontend(raw net.Conn) {
+	sec := transport.SecureServerAny(raw, co.cfg.FrontIdentity)
+	raw.SetDeadline(time.Now().Add(mixnet.DefaultHandshakeTimeout))
+	if err := sec.Handshake(); err != nil {
+		sec.Close()
+		return
+	}
+	raw.SetDeadline(time.Time{})
+	cc := newClientConn(wire.NewConn(sec))
+	cc.front = true
+	co.mu.Lock()
+	select {
+	case <-co.closeCh:
+		co.mu.Unlock()
+		cc.close()
+		return
+	default:
+	}
+	co.fronts[cc] = struct{}{}
+	co.mu.Unlock()
+	co.readLoop(cc)
+}
+
+// readLoop receives submissions from one connection — wire.KindSubmit
+// from a direct client, wire.KindFrontBatch from a frontend pipe — and
+// routes them to the open round. A malformed submission (wrong exchange
+// count, bad frontend framing) drops the connection, the same policy as
+// a stalled writer: the peer is broken, and silently ignoring it would
+// leave an honest-but-misconfigured client waiting forever for a reply
+// that can never be addressed to it. On disconnect, every pending round
+// is notified so churn no longer burns the full SubmitTimeout.
 func (co *Coordinator) readLoop(cc *clientConn) {
 	defer func() {
 		co.mu.Lock()
-		delete(co.clients, cc)
+		if cc.front {
+			delete(co.fronts, cc)
+		} else {
+			delete(co.clients, cc)
+		}
+		open := make([]*roundState, 0, len(co.pending))
+		for _, rs := range co.pending {
+			open = append(open, rs)
+		}
 		co.mu.Unlock()
 		cc.close()
+		for _, rs := range open {
+			rs.drop(cc)
+		}
 	}()
 	for {
 		msg, err := cc.conn.Recv()
 		if err != nil {
 			return
 		}
-		if msg.Kind != wire.KindSubmit || len(msg.Body) == 0 {
+		if cc.front {
+			if msg.Kind != wire.KindFrontBatch {
+				return // frontends speak only KindFrontBatch; drop the pipe
+			}
+		} else if msg.Kind != wire.KindSubmit {
 			continue
 		}
 		co.mu.Lock()
@@ -321,7 +488,16 @@ func (co *Coordinator) readLoop(cc *clientConn) {
 		if rs == nil || rs.round != msg.Round {
 			continue // late or unknown round: drop (client retries next round)
 		}
-		rs.add(cc, msg.Body)
+		if cc.front {
+			if err := wire.CheckFrontBatch(msg, rs.perClient); err != nil {
+				return // malformed partial batch: drop the pipe
+			}
+		} else if len(msg.Body) != rs.perClient {
+			return // wrong exchange count: misconfigured client, drop it
+		}
+		// Membership and duplicate rejections are per-message noise, not
+		// a broken peer: keep the connection, drop the submission.
+		_ = rs.record(cc, msg.Body)
 	}
 }
 
@@ -340,12 +516,37 @@ func (co *Coordinator) commitRound(counter string, round uint64) error {
 	return nil
 }
 
+// participant is one batch contributor in snapshot order: a directly
+// connected client or a frontend's partial batch. Contributor i owns
+// batch[off : off+onions] where off is the sum of earlier onion counts.
+type participant struct {
+	cc *clientConn
+	// onions is how many batch entries the contributor supplied:
+	// perClient for a direct client, M·perClient for a frontend.
+	onions int
+	// clients is how many end clients those onions represent: 1 for a
+	// direct client, the KindFrontBatch M for a frontend.
+	clients int
+}
+
+// countClients sums the end clients behind a round's participants.
+func countClients(parts []participant) int {
+	n := 0
+	for _, p := range parts {
+		n += p.clients
+	}
+	return n
+}
+
 // convoRound carries one conversation round between the pipeline stages:
 // collect → chain-RPC → reply-fanout.
 type convoRound struct {
-	round   uint64
-	batch   [][]byte
-	clients []*clientConn
+	round uint64
+	batch [][]byte
+	parts []participant
+	// participants is the number of end clients in the batch — direct
+	// submitters plus every client batched behind a frontend.
+	participants int
 }
 
 // collectConvo is the first pipeline stage: announce the next round
@@ -361,11 +562,12 @@ func (co *Coordinator) collectConvo(ctx context.Context) (*convoRound, error) {
 	}
 
 	k := int(co.cfg.ConvoExchanges)
-	batch, clients, err := co.collect(ctx, wire.ProtoConvo, cr.round, co.cfg.ConvoExchanges, k)
+	batch, parts, err := co.collect(ctx, wire.ProtoConvo, cr.round, co.cfg.ConvoExchanges, k)
 	if err != nil {
 		return cr, err
 	}
-	cr.batch, cr.clients = batch, clients
+	cr.batch, cr.parts = batch, parts
+	cr.participants = countClients(parts)
 	return cr, nil
 }
 
@@ -384,17 +586,26 @@ func (co *Coordinator) chainConvo(cr *convoRound) ([][]byte, error) {
 	return replies, nil
 }
 
-// fanoutConvo is the third pipeline stage: deliver each client's slice of
-// the reply batch.
+// fanoutConvo is the third pipeline stage: deliver each participant's
+// slice of the reply batch — a KindReply per direct client, one
+// KindFrontReplies carrying the whole partial-batch slice per frontend
+// (the frontend demuxes it to its own clients).
 func (co *Coordinator) fanoutConvo(cr *convoRound, replies [][]byte) {
-	k := int(co.cfg.ConvoExchanges)
-	for i, cc := range cr.clients {
-		msg := &wire.Message{
-			Kind: wire.KindReply, Proto: wire.ProtoConvo, Round: cr.round,
-			M: co.cfg.ConvoExchanges, Body: replies[i*k : (i+1)*k],
+	off := 0
+	for _, p := range cr.parts {
+		slice := replies[off : off+p.onions]
+		off += p.onions
+		var msg *wire.Message
+		if p.cc.front {
+			msg = wire.FrontRepliesMessage(wire.ProtoConvo, cr.round, uint32(p.clients), slice)
+		} else {
+			msg = &wire.Message{
+				Kind: wire.KindReply, Proto: wire.ProtoConvo, Round: cr.round,
+				M: co.cfg.ConvoExchanges, Body: slice,
+			}
 		}
-		if err := cc.send(msg); err != nil {
-			cc.close()
+		if err := p.cc.send(msg); err != nil {
+			p.cc.close()
 		}
 	}
 }
@@ -409,10 +620,10 @@ func (co *Coordinator) RunConvoRound(ctx context.Context) (round uint64, partici
 	}
 	replies, err := co.chainConvo(cr)
 	if err != nil {
-		return cr.round, len(cr.clients), err
+		return cr.round, cr.participants, err
 	}
 	co.fanoutConvo(cr, replies)
-	return cr.round, len(cr.clients), nil
+	return cr.round, cr.participants, nil
 }
 
 // RunConvoRounds executes n consecutive conversation rounds with up to
@@ -464,7 +675,7 @@ func (co *Coordinator) RunConvoRounds(ctx context.Context, n int) ([]int, error)
 		// onDelivered runs on the goroutine runConvoPipeline blocks, so
 		// the append is race-free.
 		onDelivered: func(cr *convoRound) {
-			participants = append(participants, len(cr.clients))
+			participants = append(participants, cr.participants)
 		},
 	})
 	select {
@@ -589,80 +800,123 @@ func (co *Coordinator) RunDialRound(ctx context.Context) (round uint64, particip
 	if co.cfg.AutoBuckets > 0 && co.cfg.AutoBucketsMu > 0 {
 		// §5.4: m = n·f/µ, proposed per round from the current
 		// population so each bucket carries roughly equal real and noise
-		// invitations.
+		// invitations. n counts direct clients only — end clients behind
+		// frontends are known only after collection, one round too late
+		// for the announcement.
 		m = dial.OptimalBuckets(clients, co.cfg.AutoBuckets, co.cfg.AutoBucketsMu)
 	}
-	subs, order, err := co.collect(ctx, wire.ProtoDial, round, m, 1)
+	subs, parts, err := co.collect(ctx, wire.ProtoDial, round, m, 1)
 	if err != nil {
 		return round, 0, err
 	}
 	if err := co.forwardDial(round, m, subs); err != nil {
-		return round, len(subs), err
+		return round, countClients(parts), err
 	}
-	for _, cc := range order {
-		msg := &wire.Message{Kind: wire.KindReply, Proto: wire.ProtoDial, Round: round, M: m}
-		if err := cc.send(msg); err != nil {
-			cc.close()
+	for _, p := range parts {
+		var msg *wire.Message
+		if p.cc.front {
+			// The dial acknowledgement on the frontend pipe: M echoes
+			// the bucket count, no body; the frontend fans out a
+			// KindReply ack to each of its clients.
+			msg = wire.FrontRepliesMessage(wire.ProtoDial, round, m, nil)
+		} else {
+			msg = &wire.Message{Kind: wire.KindReply, Proto: wire.ProtoDial, Round: round, M: m}
+		}
+		if err := p.cc.send(msg); err != nil {
+			p.cc.close()
 		}
 	}
-	return round, len(subs), nil
+	return round, countClients(parts), nil
 }
 
-// collect announces a round and gathers perClient onions from every
-// connected client, returning the flattened batch and the client order
-// (client i owns batch[i·perClient : (i+1)·perClient]).
-func (co *Coordinator) collect(ctx context.Context, proto wire.Proto, round uint64, m uint32, perClient int) ([][]byte, []*clientConn, error) {
+// collect announces a round and gathers submissions from every directly
+// connected client and frontend pipe, returning the flattened batch and
+// the snapshot-ordered participants (each owning a contiguous slice of
+// the batch).
+func (co *Coordinator) collect(ctx context.Context, proto wire.Proto, round uint64, m uint32, perClient int) ([][]byte, []participant, error) {
 	co.mu.Lock()
-	snapshot := make([]*clientConn, 0, len(co.clients))
+	snapshot := make([]*clientConn, 0, len(co.clients)+len(co.fronts))
 	for cc := range co.clients {
+		snapshot = append(snapshot, cc)
+	}
+	for cc := range co.fronts {
 		snapshot = append(snapshot, cc)
 	}
 	rs := &roundState{
 		round:     round,
 		perClient: perClient,
+		members:   make(map[*clientConn]struct{}, len(snapshot)),
 		subs:      make(map[*clientConn][][]byte, len(snapshot)),
-		want:      len(snapshot),
+		missing:   len(snapshot),
 		full:      make(chan struct{}),
 	}
-	if rs.want == 0 {
+	for _, cc := range snapshot {
+		rs.members[cc] = struct{}{}
+	}
+	if rs.missing == 0 {
 		close(rs.full)
 	}
 	co.pending[proto] = rs
 	co.mu.Unlock()
 
 	announce := &wire.Message{Kind: wire.KindAnnounce, Proto: proto, Round: round, M: m}
+	// The frontend copy carries the coordinator's submit-timeout budget
+	// in Bucket (milliseconds) so frontends close their partial batch
+	// before the coordinator gives up on them; clients ignore the field.
+	frontAnnounce := *announce
+	frontAnnounce.Bucket = uint32(co.cfg.SubmitTimeout / time.Millisecond)
 	for _, cc := range snapshot {
-		if err := cc.send(announce); err != nil {
+		msg := announce
+		if cc.front {
+			msg = &frontAnnounce
+		}
+		if err := cc.send(msg); err != nil {
 			cc.close()
 		}
 	}
 
 	timer := time.NewTimer(co.cfg.SubmitTimeout)
 	defer timer.Stop()
+	var roundErr error
 	select {
 	case <-rs.full:
 	case <-timer.C:
 	case <-ctx.Done():
-		return nil, nil, ctx.Err()
+		roundErr = ctx.Err()
 	case <-co.closeCh:
-		return nil, nil, errors.New("coordinator: closed")
+		roundErr = errors.New("coordinator: closed")
 	}
 
+	// Retire the round on every exit path, abort included: a dead round
+	// left in pending would keep absorbing submissions forever, eating
+	// onions that clients meant for the next live round.
 	co.mu.Lock()
-	delete(co.pending, proto)
+	if co.pending[proto] == rs {
+		delete(co.pending, proto)
+	}
 	co.mu.Unlock()
 
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	batch := make([][]byte, 0, len(rs.subs)*perClient)
-	order := make([]*clientConn, 0, len(rs.subs))
-	for _, cc := range snapshot {
-		if onions, ok := rs.subs[cc]; ok {
-			batch = append(batch, onions...)
-			order = append(order, cc)
-		}
+	rs.closed = true
+	if roundErr != nil {
+		return nil, nil, roundErr
 	}
-	return batch, order, nil
+	batch := make([][]byte, 0, len(rs.subs)*perClient)
+	parts := make([]participant, 0, len(rs.subs))
+	for _, cc := range snapshot {
+		onions, ok := rs.subs[cc]
+		if !ok {
+			continue
+		}
+		clients := 1
+		if cc.front {
+			clients = len(onions) / perClient
+		}
+		batch = append(batch, onions...)
+		parts = append(parts, participant{cc: cc, onions: len(onions), clients: clients})
+	}
+	return batch, parts, nil
 }
 
 func (co *Coordinator) forwardConvo(round uint64, batch [][]byte) ([][]byte, error) {
@@ -842,6 +1096,9 @@ func (co *Coordinator) Close() error {
 		close(co.closeCh)
 		co.mu.Lock()
 		for cc := range co.clients {
+			cc.close()
+		}
+		for cc := range co.fronts {
 			cc.close()
 		}
 		co.mu.Unlock()

@@ -1,0 +1,227 @@
+package frontend
+
+import (
+	"errors"
+	"sync"
+
+	"vuvuzela/internal/wire"
+)
+
+// errStalled marks a peer dropped for not draining its queue.
+var errStalled = errors.New("frontend: peer stalled")
+
+// clientConn is one connected client. Outbound messages go through a
+// bounded queue drained by a dedicated writer goroutine — the same
+// stall isolation as the coordinator's client handling: one client that
+// stops reading is dropped, never waited on.
+type clientConn struct {
+	conn   *wire.Conn
+	out    chan *wire.Message
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newClientConn(conn *wire.Conn) *clientConn {
+	cc := &clientConn{
+		conn:   conn,
+		out:    make(chan *wire.Message, 64),
+		closed: make(chan struct{}),
+	}
+	go cc.writeLoop()
+	return cc
+}
+
+func (cc *clientConn) writeLoop() {
+	for {
+		select {
+		case m := <-cc.out:
+			if err := cc.conn.Send(m); err != nil {
+				cc.close()
+				return
+			}
+		case <-cc.closed:
+			return
+		}
+	}
+}
+
+func (cc *clientConn) send(m *wire.Message) error {
+	select {
+	case cc.out <- m:
+		return nil
+	case <-cc.closed:
+		return errStalled
+	default:
+		cc.close()
+		return errStalled
+	}
+}
+
+func (cc *clientConn) close() {
+	cc.once.Do(func() {
+		close(cc.closed)
+		cc.conn.Close()
+	})
+}
+
+// pipe is one connection to the coordinator. Writes go through a small
+// bounded queue: a frontend sends exactly one partial batch per
+// announced round and the coordinator never has more than
+// wire.MaxRoundsInFlight rounds open, so a full queue means the
+// coordinator is not draining — the overflowing batch is shed rather
+// than queued without bound.
+type pipe struct {
+	conn   *wire.Conn
+	out    chan *wire.Message
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newPipe(conn *wire.Conn) *pipe {
+	p := &pipe{
+		conn:   conn,
+		out:    make(chan *wire.Message, wire.MaxRoundsInFlight),
+		closed: make(chan struct{}),
+	}
+	go p.writeLoop()
+	return p
+}
+
+func (p *pipe) writeLoop() {
+	for {
+		select {
+		case m := <-p.out:
+			if err := p.conn.Send(m); err != nil {
+				p.close()
+				return
+			}
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+func (p *pipe) send(m *wire.Message) error {
+	select {
+	case p.out <- m:
+		return nil
+	case <-p.closed:
+		return errStalled
+	default:
+		return errStalled
+	}
+}
+
+func (p *pipe) close() {
+	p.once.Do(func() {
+		close(p.closed)
+		p.conn.Close()
+	})
+}
+
+// frontRound collects one round's submissions from the announce-time
+// snapshot of this frontend's clients — the same membership discipline
+// as the coordinator's roundState: late joiners wait for the next
+// round, disconnects close collection early, and one submission per
+// member.
+type frontRound struct {
+	proto     wire.Proto
+	round     uint64
+	perClient int
+	snapshot  []*clientConn
+
+	mu      sync.Mutex
+	members map[*clientConn]struct{}
+	subs    map[*clientConn][][]byte
+	missing int
+	closed  bool
+	full    chan struct{}
+}
+
+func newFrontRound(proto wire.Proto, round uint64, perClient int, snapshot []*clientConn) *frontRound {
+	fr := &frontRound{
+		proto:     proto,
+		round:     round,
+		perClient: perClient,
+		snapshot:  snapshot,
+		members:   make(map[*clientConn]struct{}, len(snapshot)),
+		subs:      make(map[*clientConn][][]byte, len(snapshot)),
+		missing:   len(snapshot),
+		full:      make(chan struct{}),
+	}
+	for _, cc := range snapshot {
+		fr.members[cc] = struct{}{}
+	}
+	if fr.missing == 0 {
+		close(fr.full)
+	}
+	return fr
+}
+
+// record stores a member's submission; non-members and duplicates are
+// rejected without closing the connection.
+func (fr *frontRound) record(cc *clientConn, onions [][]byte) error {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.closed {
+		return errors.New("frontend: round closed")
+	}
+	if _, ok := fr.members[cc]; !ok {
+		return errors.New("frontend: not in round snapshot")
+	}
+	if _, dup := fr.subs[cc]; dup {
+		return errors.New("frontend: duplicate submission")
+	}
+	fr.subs[cc] = onions
+	fr.missing--
+	if fr.missing == 0 {
+		close(fr.full)
+	}
+	return nil
+}
+
+// drop removes a disconnected member that has not submitted, so the
+// partial batch closes as soon as every remaining member is in.
+func (fr *frontRound) drop(cc *clientConn) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if fr.closed {
+		return
+	}
+	if _, ok := fr.members[cc]; !ok {
+		return
+	}
+	if _, submitted := fr.subs[cc]; submitted {
+		return
+	}
+	delete(fr.members, cc)
+	fr.missing--
+	if fr.missing == 0 {
+		close(fr.full)
+	}
+}
+
+// finalize closes the round and returns the flattened submissions with
+// their demux order (client i owns onions[i·perClient:(i+1)·perClient]).
+func (fr *frontRound) finalize() ([][]byte, []*clientConn) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.closed = true
+	onions := make([][]byte, 0, len(fr.subs)*fr.perClient)
+	order := make([]*clientConn, 0, len(fr.subs))
+	for _, cc := range fr.snapshot {
+		if subs, ok := fr.subs[cc]; ok {
+			onions = append(onions, subs...)
+			order = append(order, cc)
+		}
+	}
+	return onions, order
+}
+
+// abandon closes the round without building a batch — the coordinator
+// has moved on (a newer announcement superseded it, or the pipe died).
+func (fr *frontRound) abandon() {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.closed = true
+}

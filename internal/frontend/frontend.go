@@ -1,0 +1,484 @@
+// Package frontend implements a stateless Vuvuzela entry frontend: one
+// horizontally replicated tier-0 server that holds client connections
+// so the chain-driving coordinator does not have to.
+//
+// A frontend accepts clients exactly like the coordinator's own client
+// listener (same wire protocol — clients cannot tell the difference),
+// relays the coordinator's round announcements to them, validates and
+// batches their submissions, and forwards one partial batch per round
+// over a single authenticated transport.Secure pipe
+// (wire.KindFrontBatch). The coordinator's reply slice for the batch
+// comes back as wire.KindFrontReplies and is demultiplexed to the
+// clients in batch order.
+//
+// Frontends keep zero durable round state: the coordinator owns the
+// round clock, the pipeline, and the chain RPC, so any number of
+// frontends can be added, restarted, or lost mid-deployment. A frontend
+// whose pipe drops keeps its clients connected and reconnects with
+// backoff; its clients simply miss rounds until the pipe returns. Like
+// the entry tier as a whole, frontends are untrusted (paper §7): they
+// see only sealed onions and learn nothing the coordinator would not.
+//
+// Overload is shed, never queued unboundedly: client writer queues are
+// bounded (a stalled client is dropped, as at the coordinator), the
+// pipe's outbound queue is bounded (an overflowing partial batch is
+// dropped and its clients miss the round), and Config.MaxClients
+// refuses connections beyond the cap at accept time.
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// DefaultCollectBudget is the fallback collection window for rounds
+// whose announcement does not carry the coordinator's submit-timeout
+// budget.
+const DefaultCollectBudget = 2 * time.Second
+
+// DefaultReconnectDelay is the pause between pipe reconnection attempts.
+const DefaultReconnectDelay = 500 * time.Millisecond
+
+// handshakeTimeout bounds the pipe's secure handshake.
+const handshakeTimeout = 10 * time.Second
+
+// Config describes an entry frontend.
+type Config struct {
+	// Net is the transport used to dial the coordinator's frontend
+	// listener.
+	Net transport.Network
+	// CoordAddr is the coordinator's frontend-pipe listen address.
+	CoordAddr string
+	// CoordPub is the coordinator's frontend-pipe public key
+	// (Config.FrontIdentity's public half on the coordinator side). The
+	// pipe always runs inside transport.Secure with the frontend
+	// authenticating this key, so a misdirected dial fails the
+	// handshake instead of handing client onions to an impostor.
+	CoordPub box.PublicKey
+	// Identity is the frontend's own pipe key. The coordinator accepts
+	// any frontend identity (frontends are untrusted, §7), so this may
+	// be left zero and New generates a fresh one per process.
+	Identity box.PrivateKey
+
+	// MaxClients, if positive, is the load-shedding cap: connections
+	// beyond it are refused at accept time so an overloaded frontend
+	// degrades by turning clients away, not by slowing every round.
+	MaxClients int
+
+	// CollectBudget bounds how long a round collects client submissions
+	// when the announcement carries no budget hint (0 uses
+	// DefaultCollectBudget). When the coordinator's announcement does
+	// carry its submit-timeout budget, the frontend uses 4/5 of that
+	// instead, closing its partial batch before the coordinator gives
+	// up on it.
+	CollectBudget time.Duration
+
+	// ReconnectDelay is the pause between pipe reconnection attempts
+	// (0 uses DefaultReconnectDelay).
+	ReconnectDelay time.Duration
+}
+
+// Frontend is a running entry frontend.
+type Frontend struct {
+	cfg Config
+
+	mu      sync.Mutex
+	clients map[*clientConn]struct{}
+	pending map[wire.Proto]*frontRound
+	await   map[roundKey]*sentRound
+	pipe    *pipe
+
+	closeOnce sync.Once
+	closeCh   chan struct{}
+}
+
+// New creates a frontend.
+func New(cfg Config) (*Frontend, error) {
+	if cfg.Net == nil || cfg.CoordAddr == "" {
+		return nil, errors.New("frontend: no coordinator configured")
+	}
+	if cfg.CoordPub == (box.PublicKey{}) {
+		return nil, errors.New("frontend: coordinator pipe key required (Config.CoordPub)")
+	}
+	if cfg.Identity == (box.PrivateKey{}) {
+		_, priv, err := box.GenerateKey(nil)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: generating pipe identity: %w", err)
+		}
+		cfg.Identity = priv
+	}
+	if cfg.CollectBudget == 0 {
+		cfg.CollectBudget = DefaultCollectBudget
+	}
+	if cfg.ReconnectDelay == 0 {
+		cfg.ReconnectDelay = DefaultReconnectDelay
+	}
+	return &Frontend{
+		cfg:     cfg,
+		clients: make(map[*clientConn]struct{}),
+		pending: make(map[wire.Proto]*frontRound),
+		await:   make(map[roundKey]*sentRound),
+		closeCh: make(chan struct{}),
+	}, nil
+}
+
+// NumClients returns the number of connected clients.
+func (f *Frontend) NumClients() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.clients)
+}
+
+// Connected reports whether the coordinator pipe is currently up.
+func (f *Frontend) Connected() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pipe != nil
+}
+
+// Serve accepts client connections until the listener closes.
+// Connections beyond Config.MaxClients are refused immediately
+// (load-shedding): a client that cannot be served this round should
+// retry another frontend rather than silently receive nothing.
+func (f *Frontend) Serve(l net.Listener) error {
+	for {
+		raw, err := l.Accept()
+		if err != nil {
+			select {
+			case <-f.closeCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		f.mu.Lock()
+		if f.cfg.MaxClients > 0 && len(f.clients) >= f.cfg.MaxClients {
+			f.mu.Unlock()
+			raw.Close()
+			continue
+		}
+		cc := newClientConn(wire.NewConn(raw))
+		f.clients[cc] = struct{}{}
+		f.mu.Unlock()
+		go f.readLoop(cc)
+	}
+}
+
+// Run maintains the coordinator pipe until the context is cancelled or
+// the frontend closes: dial, authenticate, serve rounds, and on any
+// pipe failure drop the rounds in flight and reconnect after
+// ReconnectDelay. Clients stay connected across pipe outages — they
+// miss rounds until the pipe returns, the same degradation as a slow
+// network.
+func (f *Frontend) Run(ctx context.Context) error {
+	for {
+		f.runPipe(ctx)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-f.closeCh:
+			return nil
+		case <-time.After(f.cfg.ReconnectDelay):
+		}
+	}
+}
+
+// runPipe serves one pipe connection to completion.
+func (f *Frontend) runPipe(ctx context.Context) {
+	raw, err := f.cfg.Net.Dial(f.cfg.CoordAddr)
+	if err != nil {
+		return
+	}
+	sec := transport.SecureClient(raw, f.cfg.Identity, f.cfg.CoordPub)
+	raw.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := sec.Handshake(); err != nil {
+		sec.Close()
+		return
+	}
+	raw.SetDeadline(time.Time{})
+
+	p := newPipe(wire.NewConn(sec))
+	f.mu.Lock()
+	select {
+	case <-f.closeCh:
+		f.mu.Unlock()
+		p.close()
+		return
+	default:
+	}
+	f.pipe = p
+	f.mu.Unlock()
+
+	// Tear the pipe down when the frontend closes or the context ends,
+	// so the Recv loop below unblocks.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-f.closeCh:
+		case <-stop:
+		}
+		p.close()
+	}()
+
+	for {
+		msg, err := p.conn.Recv()
+		if err != nil {
+			break
+		}
+		switch msg.Kind {
+		case wire.KindAnnounce:
+			f.startRound(p, msg)
+		case wire.KindFrontReplies:
+			if err := f.deliver(msg); err != nil {
+				// The coordinator broke the reply framing; a corrupted
+				// demux would misroute onions between clients, so drop
+				// the pipe and resync on reconnect.
+				p.close()
+			}
+		}
+	}
+
+	p.close()
+	f.mu.Lock()
+	if f.pipe == p {
+		f.pipe = nil
+	}
+	// Rounds in flight on this pipe can never complete: their batches
+	// were (or would be) sent on a connection the coordinator has
+	// forgotten. Their clients miss the round.
+	f.await = make(map[roundKey]*sentRound)
+	f.mu.Unlock()
+}
+
+// startRound begins collecting one round announced on the pipe.
+func (f *Frontend) startRound(p *pipe, ann *wire.Message) {
+	budget := f.cfg.CollectBudget
+	if ann.Bucket > 0 {
+		// The coordinator's submit-timeout budget (milliseconds): use
+		// 4/5 of it so the partial batch reaches the coordinator before
+		// it stops waiting for this frontend.
+		budget = time.Duration(ann.Bucket) * time.Millisecond * 4 / 5
+	}
+
+	f.mu.Lock()
+	snapshot := make([]*clientConn, 0, len(f.clients))
+	for cc := range f.clients {
+		snapshot = append(snapshot, cc)
+	}
+	fr := newFrontRound(ann.Proto, ann.Round, perClientFor(ann), snapshot)
+	// A previous round of the same protocol still collecting has been
+	// abandoned by the coordinator (it announced a newer one); close it
+	// without sending.
+	if old := f.pending[ann.Proto]; old != nil {
+		old.abandon()
+	}
+	f.pending[ann.Proto] = fr
+	f.mu.Unlock()
+
+	// Relay the announcement with the budget hint zeroed: the
+	// client-facing wire is identical to a direct coordinator
+	// connection.
+	relay := *ann
+	relay.Bucket = 0
+	for _, cc := range snapshot {
+		if err := cc.send(&relay); err != nil {
+			cc.close()
+		}
+	}
+
+	go f.collectRound(p, fr, budget)
+}
+
+// perClientFor derives the per-client onion count from an announcement:
+// a conversation announcement's M is the exchange count, a dialing
+// round is always one invitation onion per client.
+func perClientFor(ann *wire.Message) int {
+	if ann.Proto == wire.ProtoConvo && ann.M > 1 {
+		return int(ann.M)
+	}
+	return 1
+}
+
+// collectRound waits out one round's collection window, then forwards
+// the partial batch on the pipe and records the demux order for the
+// reply. An empty frontend submits its empty batch immediately, letting
+// the coordinator close the round early instead of waiting out the
+// submit timeout on an idle frontend.
+func (f *Frontend) collectRound(p *pipe, fr *frontRound, budget time.Duration) {
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	aborted := false
+	select {
+	case <-fr.full:
+	case <-timer.C:
+	case <-p.closed:
+		aborted = true
+	case <-f.closeCh:
+		aborted = true
+	}
+
+	f.mu.Lock()
+	if f.pending[fr.proto] == fr {
+		delete(f.pending, fr.proto)
+	}
+	f.mu.Unlock()
+	onions, order := fr.finalize()
+	if aborted {
+		return
+	}
+
+	key := roundKey{fr.proto, fr.round}
+	sr := &sentRound{perClient: fr.perClient, order: order}
+	f.mu.Lock()
+	f.await[key] = sr
+	// Bound the demux state: the coordinator never has more than
+	// wire.MaxRoundsInFlight rounds open, so anything older is a round
+	// whose replies are never coming.
+	if len(f.await) > wire.MaxRoundsInFlight+1 {
+		lowest := key
+		for k := range f.await {
+			if k.proto == key.proto && k.round < lowest.round {
+				lowest = k
+			}
+		}
+		if lowest != key {
+			delete(f.await, lowest)
+		}
+	}
+	f.mu.Unlock()
+
+	batch := wire.FrontBatchMessage(fr.proto, fr.round, uint32(len(order)), onions)
+	if err := p.send(batch); err != nil {
+		// Pipe gone or outbound queue overflowing: shed the round.
+		f.mu.Lock()
+		delete(f.await, key)
+		f.mu.Unlock()
+	}
+}
+
+// deliver demultiplexes one KindFrontReplies message to the clients of
+// the batch it answers. A reply for an unknown round is stale (pipe
+// reconnect, pruned demux state) and is dropped; a reply that fails
+// validation is an error — the pipe is broken and must be dropped
+// before a misaligned slice routes onions to the wrong clients.
+func (f *Frontend) deliver(msg *wire.Message) error {
+	key := roundKey{msg.Proto, msg.Round}
+	f.mu.Lock()
+	sr := f.await[key]
+	delete(f.await, key)
+	f.mu.Unlock()
+	if sr == nil {
+		return nil
+	}
+
+	want := len(sr.order) * sr.perClient
+	if msg.Proto == wire.ProtoDial {
+		want = 0
+	}
+	if err := wire.CheckFrontReplies(msg, msg.Proto, msg.Round, want); err != nil {
+		return err
+	}
+
+	if msg.Proto == wire.ProtoDial {
+		// The dial acknowledgement: fan a KindReply ack with the bucket
+		// count to every client in the batch.
+		for _, cc := range sr.order {
+			ack := &wire.Message{Kind: wire.KindReply, Proto: wire.ProtoDial, Round: msg.Round, M: msg.M}
+			if err := cc.send(ack); err != nil {
+				cc.close()
+			}
+		}
+		return nil
+	}
+	k := sr.perClient
+	for i, cc := range sr.order {
+		reply := &wire.Message{
+			Kind: wire.KindReply, Proto: wire.ProtoConvo, Round: msg.Round,
+			M: uint32(k), Body: msg.Body[i*k : (i+1)*k],
+		}
+		if err := cc.send(reply); err != nil {
+			cc.close()
+		}
+	}
+	return nil
+}
+
+// readLoop receives one client's submissions and routes them to the
+// open round, mirroring the coordinator's direct-client policy: a
+// malformed submission (wrong exchange count) drops the connection, a
+// late or duplicate one is per-message noise, and a disconnect notifies
+// every pending round so collection closes early.
+func (f *Frontend) readLoop(cc *clientConn) {
+	defer func() {
+		f.mu.Lock()
+		delete(f.clients, cc)
+		open := make([]*frontRound, 0, len(f.pending))
+		for _, fr := range f.pending {
+			open = append(open, fr)
+		}
+		f.mu.Unlock()
+		cc.close()
+		for _, fr := range open {
+			fr.drop(cc)
+		}
+	}()
+	for {
+		msg, err := cc.conn.Recv()
+		if err != nil {
+			return
+		}
+		if msg.Kind != wire.KindSubmit {
+			continue
+		}
+		f.mu.Lock()
+		fr := f.pending[msg.Proto]
+		f.mu.Unlock()
+		if fr == nil || fr.round != msg.Round {
+			continue
+		}
+		if len(msg.Body) != fr.perClient {
+			return // wrong exchange count: misconfigured client, drop it
+		}
+		_ = fr.record(cc, msg.Body)
+	}
+}
+
+// Close disconnects all clients and the pipe.
+func (f *Frontend) Close() error {
+	f.closeOnce.Do(func() {
+		close(f.closeCh)
+		f.mu.Lock()
+		for cc := range f.clients {
+			cc.close()
+		}
+		if f.pipe != nil {
+			f.pipe.close()
+			f.pipe = nil
+		}
+		f.mu.Unlock()
+	})
+	return nil
+}
+
+// roundKey identifies one awaited reply slice.
+type roundKey struct {
+	proto wire.Proto
+	round uint64
+}
+
+// sentRound is the demux state for one forwarded partial batch: the
+// clients in batch order, each owning perClient onions of the reply.
+type sentRound struct {
+	perClient int
+	order     []*clientConn
+}

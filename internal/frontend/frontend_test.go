@@ -1,0 +1,344 @@
+package frontend_test
+
+// Integration tests for the split entry tier: a real coordinator with a
+// local chain, its frontend-pipe listener, and one or more frontends in
+// between the clients and the round clock.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vuvuzela/internal/cdn"
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/coordinator"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/dial"
+	"vuvuzela/internal/frontend"
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/onion"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// tier is a coordinator plus one frontend wired over a shared in-memory
+// network.
+type tier struct {
+	co    *coordinator.Coordinator
+	fe    *frontend.Frontend
+	chain []box.PublicKey
+	net   *transport.Mem
+}
+
+func newTier(t *testing.T, feCfg frontend.Config) *tier {
+	t.Helper()
+	pubs, privs, err := mixnet.NewChainKeys(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, err := mixnet.NewLocalChain(pubs, privs, mixnet.Config{
+		ConvoNoise: noise.Fixed{N: 1},
+		DialNoise:  noise.Fixed{N: 1},
+	}, cdn.NewStore(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontPub, frontPriv, err := box.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := coordinator.New(coordinator.Config{
+		ChainLocal:    servers[0],
+		SubmitTimeout: 2 * time.Second,
+		FrontIdentity: frontPriv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMem()
+	le, err := net.Listen("entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve(le)
+	lf, err := net.Listen("entry-front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.ServeFrontends(lf)
+
+	feCfg.Net = net
+	feCfg.CoordAddr = "entry-front"
+	feCfg.CoordPub = frontPub
+	if feCfg.ReconnectDelay == 0 {
+		feCfg.ReconnectDelay = 50 * time.Millisecond
+	}
+	fe, err := frontend.New(feCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := net.Listen("fe1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(lc)
+	ctx, cancel := context.WithCancel(context.Background())
+	go fe.Run(ctx)
+
+	t.Cleanup(func() {
+		cancel()
+		fe.Close()
+		le.Close()
+		lf.Close()
+		lc.Close()
+		co.Close()
+	})
+
+	deadline := time.Now().Add(3 * time.Second)
+	for co.NumFrontends() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("frontend pipe never connected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return &tier{co: co, fe: fe, chain: pubs, net: net}
+}
+
+// dialClient connects a wire-level client to addr and waits until count
+// reports at least want.
+func dialClient(t *testing.T, net *transport.Mem, addr string, count func() int, want int) *wire.Conn {
+	t.Helper()
+	raw, err := net.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := wire.NewConn(raw)
+	t.Cleanup(func() { conn.Close() })
+	deadline := time.Now().Add(2 * time.Second)
+	for count() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("registration timed out at %d", want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return conn
+}
+
+func convoOnions(t *testing.T, chain []box.PublicKey, round uint64, n int) [][]byte {
+	t.Helper()
+	out := make([][]byte, n)
+	for i := range out {
+		req, err := convo.BuildRequest(nil, round, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _, err := onion.Wrap(req.Marshal(), round, 0, chain, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// answer replies to the next announce on conn with one valid onion and
+// returns the announcement.
+func answer(t *testing.T, conn *wire.Conn, chain []box.PublicKey) *wire.Message {
+	t.Helper()
+	ann, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Kind != wire.KindAnnounce {
+		t.Fatalf("expected announce, got kind %d", ann.Kind)
+	}
+	onions := convoOnions(t, chain, ann.Round, 1)
+	if err := conn.Send(&wire.Message{Kind: wire.KindSubmit, Proto: ann.Proto, Round: ann.Round, Body: onions}); err != nil {
+		t.Fatal(err)
+	}
+	return ann
+}
+
+// TestFrontendRoundTrip: clients behind a frontend and a direct client
+// complete a conversation round together; every client gets exactly its
+// reply slice, and the relayed announcement is indistinguishable from a
+// direct one (no budget hint leaks).
+func TestFrontendRoundTrip(t *testing.T) {
+	tr := newTier(t, frontend.Config{})
+	f1 := dialClient(t, tr.net, "fe1", tr.fe.NumClients, 1)
+	f2 := dialClient(t, tr.net, "fe1", tr.fe.NumClients, 2)
+	direct := dialClient(t, tr.net, "entry", tr.co.NumClients, 1)
+
+	done := make(chan int, 1)
+	go func() {
+		_, n, err := tr.co.RunConvoRound(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- n
+	}()
+
+	var round uint64
+	for _, c := range []*wire.Conn{f1, f2, direct} {
+		ann := answer(t, c, tr.chain)
+		if ann.Bucket != 0 {
+			t.Fatalf("client-facing announce leaked Bucket=%d", ann.Bucket)
+		}
+		round = ann.Round
+	}
+	if n := <-done; n != 3 {
+		t.Fatalf("participants = %d, want 3 (2 behind frontend + 1 direct)", n)
+	}
+	for name, c := range map[string]*wire.Conn{"f1": f1, "f2": f2, "direct": direct} {
+		reply, err := c.Recv()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if reply.Kind != wire.KindReply || reply.Proto != wire.ProtoConvo || reply.Round != round || len(reply.Body) != 1 {
+			t.Fatalf("%s reply: %+v", name, reply)
+		}
+	}
+}
+
+// TestFrontendDialRound: the dial acknowledgement fans out through the
+// frontend with the bucket count intact.
+func TestFrontendDialRound(t *testing.T) {
+	tr := newTier(t, frontend.Config{})
+	f1 := dialClient(t, tr.net, "fe1", tr.fe.NumClients, 1)
+
+	done := make(chan int, 1)
+	go func() {
+		_, n, err := tr.co.RunDialRound(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- n
+	}()
+	ann, err := f1.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Proto != wire.ProtoDial {
+		t.Fatalf("announce proto = %d", ann.Proto)
+	}
+	pub, _, err := box.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := dial.BuildRequest(&pub, nil, ann.M, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _, err := onion.Wrap(req.Marshal(), ann.Round, 0, tr.chain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Send(&wire.Message{Kind: wire.KindSubmit, Proto: wire.ProtoDial, Round: ann.Round, Body: [][]byte{o}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := <-done; n != 1 {
+		t.Fatalf("participants = %d", n)
+	}
+	ack, err := f1.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Kind != wire.KindReply || ack.Proto != wire.ProtoDial || ack.Round != ann.Round || ack.M != ann.M {
+		t.Fatalf("dial ack: %+v", ack)
+	}
+}
+
+// TestFrontendEmptyBatchClosesEarly: an idle frontend answers each
+// announcement with an empty batch immediately, so a round with only
+// direct participants still closes as soon as they submit instead of
+// waiting out the submit timeout on the idle frontend.
+func TestFrontendEmptyBatchClosesEarly(t *testing.T) {
+	tr := newTier(t, frontend.Config{})
+	direct := dialClient(t, tr.net, "entry", tr.co.NumClients, 1)
+
+	start := time.Now()
+	done := make(chan int, 1)
+	go func() {
+		_, n, _ := tr.co.RunConvoRound(context.Background())
+		done <- n
+	}()
+	answer(t, direct, tr.chain)
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("participants = %d", n)
+		}
+	case <-time.After(1500 * time.Millisecond):
+		t.Fatal("round waited on an idle frontend")
+	}
+	if elapsed := time.Since(start); elapsed >= 1500*time.Millisecond {
+		t.Fatalf("round took %v with an idle frontend", elapsed)
+	}
+}
+
+// TestFrontendChurnClosesEarly: a frontend client disconnecting
+// mid-round shrinks the partial batch, and the whole round still closes
+// early once the remaining clients submit.
+func TestFrontendChurnClosesEarly(t *testing.T) {
+	tr := newTier(t, frontend.Config{})
+	f1 := dialClient(t, tr.net, "fe1", tr.fe.NumClients, 1)
+	f2 := dialClient(t, tr.net, "fe1", tr.fe.NumClients, 2)
+
+	start := time.Now()
+	done := make(chan int, 1)
+	go func() {
+		_, n, _ := tr.co.RunConvoRound(context.Background())
+		done <- n
+	}()
+	ann := answer(t, f1, tr.chain)
+	if _, err := f2.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close() // churns out after the announce, before submitting
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("participants = %d, want 1", n)
+		}
+	case <-time.After(1500 * time.Millisecond):
+		t.Fatal("round did not close early after frontend-client churn")
+	}
+	if elapsed := time.Since(start); elapsed >= 1500*time.Millisecond {
+		t.Fatalf("churned round took %v", elapsed)
+	}
+	reply, err := f1.Recv()
+	if err != nil || reply.Round != ann.Round || len(reply.Body) != 1 {
+		t.Fatalf("reply: %+v err=%v", reply, err)
+	}
+}
+
+// TestFrontendLoadShedding: connections beyond MaxClients are refused
+// at accept time.
+func TestFrontendLoadShedding(t *testing.T) {
+	tr := newTier(t, frontend.Config{MaxClients: 1})
+	_ = dialClient(t, tr.net, "fe1", tr.fe.NumClients, 1)
+
+	raw, err := tr.net.Dial("fe1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := wire.NewConn(raw)
+	defer shed.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := shed.Recv()
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("over-cap client received a message")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("over-cap client was not refused")
+	}
+	if n := tr.fe.NumClients(); n != 1 {
+		t.Fatalf("NumClients = %d after shedding, want 1", n)
+	}
+}

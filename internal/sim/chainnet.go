@@ -23,6 +23,7 @@ import (
 	"vuvuzela/internal/convo"
 	"vuvuzela/internal/coordinator"
 	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/frontend"
 	"vuvuzela/internal/mixnet"
 	"vuvuzela/internal/noise"
 	"vuvuzela/internal/onion"
@@ -38,6 +39,13 @@ type ChainNetConfig struct {
 	// Shards is the number of networked dead-drop shard servers behind
 	// the last chain server; 0 keeps the exchange in-process.
 	Shards int
+	// Frontends is the number of stateless entry frontends in front of
+	// the coordinator; 0 keeps every client directly on the coordinator
+	// (the pre-split topology). With frontends, RunRounds distributes
+	// its clients round-robin over the live frontends, and the
+	// coordinator additionally listens on FrontPipeAddr for their
+	// authenticated pipes.
+	Frontends int
 	// Mu is the fixed conversation noise per mixing server (0 = none).
 	Mu int
 	// Workers bounds each server's crypto/exchange goroutines.
@@ -83,8 +91,17 @@ type ChainNet struct {
 	Shards []*mixnet.ShardServer
 	// ShardPubs are the shards' long-term public keys, by index.
 	ShardPubs []box.PublicKey
+	// Fronts are the entry frontends (empty when Frontends == 0); nil
+	// entries are killed nodes. Restart* replaces entries, so grab them
+	// fresh after a RestartFrontend.
+	Fronts []*frontend.Frontend
 	// EntryAddr is the coordinator's client-facing listen address.
 	EntryAddr string
+	// FrontPipeAddr is the coordinator's frontend-pipe listen address
+	// (set when Frontends > 0).
+	FrontPipeAddr string
+	// FrontAddrs are the frontends' client-facing listen addresses.
+	FrontAddrs []string
 	// ServerAddrs are the chain servers' listen addresses, in chain
 	// order.
 	ServerAddrs []string
@@ -95,14 +112,18 @@ type ChainNet struct {
 	coordCfg   coordinator.Config
 	serverCfgs []mixnet.Config
 	shardCfgs  []mixnet.ShardConfig
+	frontCfgs  []frontend.Config
 
 	entryStatePath   string
 	serverStatePaths []string
 	shardStatePaths  []string
 
-	entryL   net.Listener
-	serverLs []net.Listener
-	shardLs  []net.Listener
+	entryL       net.Listener
+	frontPipeL   net.Listener
+	serverLs     []net.Listener
+	shardLs      []net.Listener
+	frontLs      []net.Listener
+	frontCancels []context.CancelFunc
 
 	roundMu sync.Mutex
 	rounds  []uint64
@@ -237,6 +258,17 @@ func NewChainNet(cfg ChainNetConfig) (*ChainNet, error) {
 		SubmitTimeout: cfg.SubmitTimeout,
 		ConvoWindow:   cfg.ConvoWindow,
 	}
+	var frontPub box.PublicKey
+	if cfg.Frontends > 0 {
+		pub, priv, err := box.GenerateKey(nil)
+		if err != nil {
+			cn.Close()
+			return nil, err
+		}
+		frontPub = pub
+		cc.FrontIdentity = priv
+		cn.FrontPipeAddr = "entry-front"
+	}
 	if cfg.StateDir != "" {
 		cn.entryStatePath = filepath.Join(cfg.StateDir, "entry.rounds")
 		store, err := roundstate.OpenCounters(cn.entryStatePath)
@@ -251,7 +283,45 @@ func NewChainNet(cfg ChainNetConfig) (*ChainNet, error) {
 		cn.Close()
 		return nil, err
 	}
+
+	// The entry frontends, each holding its own slice of the clients.
+	for i := 0; i < cfg.Frontends; i++ {
+		cn.frontCfgs = append(cn.frontCfgs, frontend.Config{
+			Net:            cfg.Net,
+			CoordAddr:      cn.FrontPipeAddr,
+			CoordPub:       frontPub,
+			ReconnectDelay: 50 * time.Millisecond,
+		})
+		cn.FrontAddrs = append(cn.FrontAddrs, fmt.Sprintf("front-%d", i))
+		cn.Fronts = append(cn.Fronts, nil)
+		cn.frontLs = append(cn.frontLs, nil)
+		cn.frontCancels = append(cn.frontCancels, nil)
+		if err := cn.startFrontend(i); err != nil {
+			cn.Close()
+			return nil, err
+		}
+	}
 	return cn, nil
+}
+
+// startFrontend boots frontend i from its recorded config.
+func (cn *ChainNet) startFrontend(i int) error {
+	fe, err := frontend.New(cn.frontCfgs[i])
+	if err != nil {
+		return err
+	}
+	l, err := cn.cfg.Net.Listen(cn.FrontAddrs[i])
+	if err != nil {
+		fe.Close()
+		return err
+	}
+	go fe.Serve(l)
+	ctx, cancel := context.WithCancel(context.Background())
+	go fe.Run(ctx)
+	cn.Fronts[i] = fe
+	cn.frontLs[i] = l
+	cn.frontCancels[i] = cancel
+	return nil
 }
 
 // startShard boots shard i from its recorded config.
@@ -287,7 +357,8 @@ func (cn *ChainNet) startServer(i int) error {
 	return nil
 }
 
-// startEntry boots the coordinator from its recorded config.
+// startEntry boots the coordinator from its recorded config, including
+// its frontend-pipe listener when the net runs a frontend tier.
 func (cn *ChainNet) startEntry() error {
 	co, err := coordinator.New(cn.coordCfg)
 	if err != nil {
@@ -299,6 +370,16 @@ func (cn *ChainNet) startEntry() error {
 		return err
 	}
 	go co.Serve(l)
+	if cn.FrontPipeAddr != "" {
+		fl, err := cn.cfg.Net.Listen(cn.FrontPipeAddr)
+		if err != nil {
+			l.Close()
+			co.Close()
+			return err
+		}
+		go co.ServeFrontends(fl)
+		cn.frontPipeL = fl
+	}
 	cn.Coord = co
 	cn.entryL = l
 	return nil
@@ -425,6 +506,10 @@ func (cn *ChainNet) KillEntry() {
 		return
 	}
 	cn.entryL.Close()
+	if cn.frontPipeL != nil {
+		cn.frontPipeL.Close()
+		cn.frontPipeL = nil
+	}
 	cn.Coord.Close()
 	cn.Coord = nil // killed nodes are nil, as in the server/shard slots
 	if st := cn.coordCfg.RoundState; st != nil {
@@ -432,13 +517,43 @@ func (cn *ChainNet) KillEntry() {
 	}
 }
 
+// KillFrontend simulates entry frontend i crashing: its clients and its
+// coordinator pipe are severed. Frontends hold zero round state, so
+// RestartFrontend needs no disk — a fresh process on the same address
+// rejoins the deployment at the next round.
+func (cn *ChainNet) KillFrontend(i int) {
+	if i < 0 || i >= len(cn.Fronts) || cn.Fronts[i] == nil {
+		return
+	}
+	cn.frontCancels[i]()
+	cn.frontLs[i].Close()
+	cn.Fronts[i].Close()
+	cn.Fronts[i] = nil
+}
+
+// RestartFrontend simulates frontend i crashing (if still up) and a
+// fresh stateless process taking over on the same address.
+func (cn *ChainNet) RestartFrontend(i int) error {
+	if i < 0 || i >= len(cn.Fronts) {
+		return fmt.Errorf("sim: no frontend %d to restart", i)
+	}
+	cn.KillFrontend(i)
+	return cn.startFrontend(i)
+}
+
 // RestartEntry simulates the coordinator crashing (if still up) and a
 // fresh entry process starting on the same address. With a StateDir the
 // replacement resumes round numbering from disk; without one it starts
-// over at round 1 — the control case a durable chain rejects.
+// over at round 1 — the control case a durable chain rejects. Running
+// frontends notice the dead pipe and reconnect to the replacement on
+// their own.
 func (cn *ChainNet) RestartEntry() error {
 	if cn.Coord != nil {
 		cn.entryL.Close()
+		if cn.frontPipeL != nil {
+			cn.frontPipeL.Close()
+			cn.frontPipeL = nil
+		}
 	}
 	cc := cn.coordCfg
 	if cn.entryStatePath != "" {
@@ -465,8 +580,14 @@ func (cn *ChainNet) RestartEntry() error {
 
 // Close shuts every node down and releases every round-state lock.
 func (cn *ChainNet) Close() {
+	for i := range cn.Fronts {
+		cn.KillFrontend(i)
+	}
 	if cn.Coord != nil {
 		cn.entryL.Close()
+		if cn.frontPipeL != nil {
+			cn.frontPipeL.Close()
+		}
 		cn.Coord.Close()
 	}
 	if st := cn.coordCfg.RoundState; st != nil {
@@ -502,10 +623,43 @@ type clientReply struct {
 	round  uint64
 }
 
-// RunRounds drives n conversation rounds through the entry server with
+// clientAddrs returns where fresh clients should connect: the live
+// frontends round-robin when the net runs a frontend tier, otherwise
+// the coordinator directly.
+func (cn *ChainNet) clientAddrs() []string {
+	addrs := make([]string, 0, len(cn.FrontAddrs))
+	for i, fe := range cn.Fronts {
+		if fe != nil {
+			addrs = append(addrs, cn.FrontAddrs[i])
+		}
+	}
+	if len(addrs) == 0 {
+		addrs = append(addrs, cn.EntryAddr)
+	}
+	return addrs
+}
+
+// connectedClients sums clients across the coordinator and the live
+// frontends.
+func (cn *ChainNet) connectedClients() int {
+	total := 0
+	if cn.Coord != nil {
+		total += cn.Coord.NumClients()
+	}
+	for _, fe := range cn.Fronts {
+		if fe != nil {
+			total += fe.NumClients()
+		}
+	}
+	return total
+}
+
+// RunRounds drives n conversation rounds through the entry tier with
 // `clients` fresh loopback clients, each answering every announcement
 // with an indistinguishable fake request (exactly what an idle
-// production client sends). It fails unless every announced round
+// production client sends). Clients connect round-robin across the live
+// frontends when the net was built with a frontend tier, directly to
+// the coordinator otherwise. It fails unless every announced round
 // completes with every client participating and every client receives
 // every round's reply; it returns the delivered round numbers in
 // delivery order. Rounds run through the coordinator's pipeline when
@@ -520,11 +674,12 @@ func (cn *ChainNet) RunRounds(clients, n int) ([]uint64, error) {
 		}
 		wg.Wait()
 	}
+	addrs := cn.clientAddrs()
 	for i := 0; i < clients; i++ {
-		raw, err := cn.cfg.Net.Dial(cn.EntryAddr)
+		raw, err := cn.cfg.Net.Dial(addrs[i%len(addrs)])
 		if err != nil {
 			closeAll()
-			return nil, fmt.Errorf("sim: dialing entry: %w", err)
+			return nil, fmt.Errorf("sim: dialing entry tier: %w", err)
 		}
 		conn := wire.NewConn(raw)
 		conns = append(conns, conn)
@@ -562,10 +717,25 @@ func (cn *ChainNet) RunRounds(clients, n int) ([]uint64, error) {
 	}
 
 	deadline := time.Now().Add(5 * time.Second)
-	for cn.Coord.NumClients() != clients {
+	for cn.connectedClients() != clients {
 		if time.Now().After(deadline) {
 			closeAll()
-			return nil, fmt.Errorf("sim: %d of %d clients registered", cn.Coord.NumClients(), clients)
+			return nil, fmt.Errorf("sim: %d of %d clients registered", cn.connectedClients(), clients)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// With a frontend tier, every live frontend's pipe must be up before
+	// the first announcement, or its clients miss the round.
+	live := 0
+	for _, fe := range cn.Fronts {
+		if fe != nil {
+			live++
+		}
+	}
+	for cn.Coord.NumFrontends() != live {
+		if time.Now().After(deadline) {
+			closeAll()
+			return nil, fmt.Errorf("sim: %d of %d frontend pipes connected", cn.Coord.NumFrontends(), live)
 		}
 		time.Sleep(time.Millisecond)
 	}

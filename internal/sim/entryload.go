@@ -1,0 +1,64 @@
+package sim
+
+// The entry-tier load generator: a client swarm driven through a full
+// in-memory deployment (ChainNet) to measure sustained round latency as
+// the connected-user count grows, with and without the frontend tier.
+// This is the harness behind `vuvuzela-bench entry` and BENCH_entry.json:
+// the direct-coordinator baseline against N stateless frontends
+// collecting in front of the same chain.
+
+import (
+	"fmt"
+	"time"
+)
+
+// EntryLoadPoint is one measured point of the entry-tier load sweep.
+type EntryLoadPoint struct {
+	// Frontends is the number of entry frontends (0 = every client
+	// directly on the coordinator).
+	Frontends int `json:"frontends"`
+	// Clients is the connected-user count.
+	Clients int `json:"clients"`
+	// Rounds is how many conversation rounds the swarm sustained.
+	Rounds int `json:"rounds"`
+	// RoundLatency is the mean wall-clock time per round, connection
+	// setup excluded.
+	RoundLatency time.Duration `json:"round_latency_ns"`
+}
+
+// MeasureEntryLoad connects `clients` swarm clients to a fresh
+// deployment (`servers` chain servers, `frontends` entry frontends — 0
+// for the direct baseline) and drives `rounds` conversation rounds,
+// returning the mean sustained round latency. Every client must
+// participate in every round and receive every reply, so a measured
+// point is also a correctness check: shed or stranded clients fail the
+// run rather than silently flattering the latency.
+func MeasureEntryLoad(frontends, clients, rounds, servers int, submitTimeout time.Duration) (EntryLoadPoint, error) {
+	cn, err := NewChainNet(ChainNetConfig{
+		Servers:       servers,
+		Frontends:     frontends,
+		SubmitTimeout: submitTimeout,
+	})
+	if err != nil {
+		return EntryLoadPoint{}, err
+	}
+	defer cn.Close()
+
+	// One warm-up round outside the measurement connects the swarm and
+	// faults in every secure leg (entry→chain, frontend pipes).
+	if _, err := cn.RunRounds(clients, 1); err != nil {
+		return EntryLoadPoint{}, fmt.Errorf("sim: entry-load warmup: %w", err)
+	}
+
+	start := time.Now()
+	if _, err := cn.RunRounds(clients, rounds); err != nil {
+		return EntryLoadPoint{}, err
+	}
+	elapsed := time.Since(start)
+	return EntryLoadPoint{
+		Frontends:    frontends,
+		Clients:      clients,
+		Rounds:       rounds,
+		RoundLatency: elapsed / time.Duration(rounds),
+	}, nil
+}

@@ -27,7 +27,11 @@ type Kind byte
 // Message kinds.
 const (
 	// KindAnnounce: entry server → client. Announces a round is open for
-	// submissions. Uses Proto, Round, M (dialing bucket count).
+	// submissions. Uses Proto, Round, M (dialing bucket count). On the
+	// frontend pipe, Bucket additionally carries the coordinator's
+	// submit-timeout budget in milliseconds so frontends can close their
+	// partial batch before the coordinator gives up on them; clients
+	// ignore the field.
 	KindAnnounce Kind = iota + 1
 	// KindSubmit: client → entry server. One onion for the round.
 	KindSubmit
@@ -57,6 +61,18 @@ const (
 	// aligned with the KindShardRound request order; Bucket echoes the
 	// shard index.
 	KindShardReply
+	// KindFrontBatch: entry frontend → coordinator. One frontend's
+	// validated partial batch for a round: M carries the number of
+	// clients the frontend collected, Body their M×perClient onions in
+	// the frontend's demux order (client i owns
+	// Body[i·perClient:(i+1)·perClient]). Exactly one per frontend per
+	// round; an empty round is M=0 with no body.
+	KindFrontBatch
+	// KindFrontReplies: coordinator → entry frontend. The frontend's
+	// slice of the round's replies, aligned with its KindFrontBatch
+	// order (conversation), or the round acknowledgement with M echoing
+	// the bucket count and an empty body (dialing).
+	KindFrontReplies
 )
 
 // ErrorMessage builds a KindError response for a failed round.
@@ -134,6 +150,71 @@ func CheckShardReply(m *Message, round uint64, shard uint32, wantReplies int) er
 		return fmt.Errorf("%w: reply from shard %d, want %d", ErrShardFrame, m.Bucket, shard)
 	case len(m.Body) != wantReplies:
 		return fmt.Errorf("%w: %d replies for %d requests", ErrShardFrame, len(m.Body), wantReplies)
+	}
+	return nil
+}
+
+// ErrFrontFrame indicates a structurally valid frame that is not an
+// acceptable frontend batch or reply slice — wrong kind, a body that is
+// not exactly M×perClient onions, or a reply slice whose round, proto,
+// or length does not match what the frontend forwarded.
+var ErrFrontFrame = errors.New("wire: bad frontend frame")
+
+// FrontBatchMessage builds the frontend→coordinator frame carrying one
+// frontend's partial batch for a round: `clients` clients' onions,
+// perClient each, flattened in the frontend's demux order.
+func FrontBatchMessage(proto Proto, round uint64, clients uint32, onions [][]byte) *Message {
+	return &Message{Kind: KindFrontBatch, Proto: proto, Round: round, M: clients, Body: onions}
+}
+
+// CheckFrontBatch validates an incoming frontend partial batch
+// structurally: it must be a KindFrontBatch for a known protocol whose
+// body is exactly M×perClient onions. It never panics on
+// attacker-controlled frames. Round routing is the receiver's job — a
+// batch for a closed round is dropped like any late client submission.
+func CheckFrontBatch(m *Message, perClient int) error {
+	switch {
+	case m == nil:
+		return fmt.Errorf("%w: nil message", ErrFrontFrame)
+	case m.Kind != KindFrontBatch:
+		return fmt.Errorf("%w: kind %d, want front batch", ErrFrontFrame, m.Kind)
+	case m.Proto != ProtoConvo && m.Proto != ProtoDial:
+		return fmt.Errorf("%w: unknown proto %d", ErrFrontFrame, m.Proto)
+	case perClient < 1:
+		return fmt.Errorf("%w: invalid per-client onion count %d", ErrFrontFrame, perClient)
+	case m.M > maxBodyParts:
+		return fmt.Errorf("%w: client count %d exceeds the frame bound", ErrFrontFrame, m.M)
+	case int64(m.M)*int64(perClient) != int64(len(m.Body)):
+		return fmt.Errorf("%w: %d onions for %d clients × %d per client", ErrFrontFrame, len(m.Body), m.M, perClient)
+	}
+	return nil
+}
+
+// FrontRepliesMessage builds the coordinator→frontend frame carrying the
+// frontend's slice of a round's replies (conversation) or the round
+// acknowledgement with m echoing the bucket count (dialing, empty body).
+func FrontRepliesMessage(proto Proto, round uint64, m uint32, replies [][]byte) *Message {
+	return &Message{Kind: KindFrontReplies, Proto: proto, Round: round, M: m, Body: replies}
+}
+
+// CheckFrontReplies validates the coordinator's reply slice for a round
+// this frontend forwarded: kind, proto, and round must match the
+// outstanding batch and the body must carry exactly wantReplies replies
+// (0 for dialing acknowledgements). A stale round fails the check, so a
+// desynchronized pipe is detected instead of replies silently shifting
+// between rounds.
+func CheckFrontReplies(m *Message, proto Proto, round uint64, wantReplies int) error {
+	switch {
+	case m == nil:
+		return fmt.Errorf("%w: nil message", ErrFrontFrame)
+	case m.Kind != KindFrontReplies:
+		return fmt.Errorf("%w: kind %d, want front replies", ErrFrontFrame, m.Kind)
+	case m.Proto != proto:
+		return fmt.Errorf("%w: proto %d, want %d", ErrFrontFrame, m.Proto, proto)
+	case m.Round != round:
+		return fmt.Errorf("%w: replies for round %d, want %d", ErrFrontFrame, m.Round, round)
+	case len(m.Body) != wantReplies:
+		return fmt.Errorf("%w: %d replies for %d forwarded requests", ErrFrontFrame, len(m.Body), wantReplies)
 	}
 	return nil
 }
