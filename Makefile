@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: check vet vuvuzela-vet staticcheck govulncheck lint build test race shardtest restart-matrix fuzz bench bench-record bench-entry example-smoke clean
+.PHONY: check vet vuvuzela-vet staticcheck govulncheck lint build test race shardtest restart-matrix fuzz bench bench-record bench-entry bench-privacy example-smoke clean
 
 check: lint build race shardtest restart-matrix fuzz
 
@@ -67,6 +67,8 @@ fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureHandshakeServer$$' -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureHandshakeClient$$' -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzSecureRecordTamper$$' -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzCheckFrontBatch$$' -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz 'FuzzCheckFrontReplies$$' -fuzztime 10s
 	$(GO) test ./internal/roundstate -run '^$$' -fuzz 'FuzzRoundStateLoad$$' -fuzztime 10s
 	$(GO) test ./internal/crypto/box -run '^$$' -fuzz 'FuzzOpenInto$$' -fuzztime 10s
 
@@ -90,6 +92,13 @@ bench-record:
 # BENCH_entry.json (CI runs the -quick smoke form of the same command).
 bench-entry:
 	$(GO) run ./cmd/vuvuzela-bench -json BENCH_entry.json entry
+
+# Traffic-analysis evaluation: empirical two-world adversary advantage
+# (compromised servers and wire observer, across degradation/churn/restart
+# scenarios) against the (ε,δ) accounting, regenerating BENCH_privacy.json
+# (CI runs the -quick smoke form of the same command).
+bench-privacy:
+	$(GO) run ./cmd/vuvuzela-bench -json BENCH_privacy.json privacy
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vuvuzela/internal/noise"
+	"vuvuzela/internal/privacy"
+)
+
+// recordingDist wraps a noise distribution and logs every draw, so a
+// test can reconcile the noise the servers *actually* added against
+// the histogram the adversary observed.
+type recordingDist struct {
+	dist noise.Distribution
+
+	mu    sync.Mutex
+	draws []int
+}
+
+func (r *recordingDist) Sample(src noise.Source) int {
+	n := r.dist.Sample(src)
+	r.mu.Lock()
+	r.draws = append(r.draws, n)
+	r.mu.Unlock()
+	return n
+}
+
+func (r *recordingDist) taken() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.draws...)
+}
+
+// TestNoiseMatchesPrivacyAccounting is the drift tripwire between
+// internal/noise and internal/privacy: for each (µ,b) it runs a real
+// eval deployment with every noise draw recorded and asserts, round by
+// round, that the adversary's histogram is exactly "clients + what the
+// honest server drew" — one single-access drop per n1 draw, ⌈n2/2⌉
+// double-access drops per n2 draw, plus the real pair in the talking
+// world. privacy.ConvoRound's (ε,δ) is derived from precisely this
+// draw structure (one m1 draw, one m2 draw, per honest server, per
+// round); if either package silently changes — a third draw, a
+// different pairing rule, noise landing on the wrong counter — the
+// arithmetic here breaks before the statistical tests would notice.
+func TestNoiseMatchesPrivacyAccounting(t *testing.T) {
+	cases := []struct {
+		mu, b float64
+	}{
+		{40, 10},
+		{20, 5},
+		{60, 15},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("mu%.0f-b%.0f", tc.mu, tc.b), func(t *testing.T) {
+			const rounds = 8
+			const idleClients = 3
+			rec := &recordingDist{dist: noise.Laplace{Mu: tc.mu, B: tc.b}}
+			exp := Experiment{
+				Rounds:      rounds,
+				IdleClients: idleClients,
+				Noise:       rec,
+				NoiseSrc:    rand.New(rand.NewSource(int64(tc.mu))),
+			}
+			res, err := exp.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FailedTalking != 0 || res.FailedIdle != 0 {
+				t.Fatalf("failed rounds: talking %d, idle %d", res.FailedTalking, res.FailedIdle)
+			}
+
+			// The accounting assumes exactly two draws (m1 noise, m2
+			// noise) per honest server per round; the default topology
+			// has one honest server and the worlds run talking-then-idle.
+			draws := rec.taken()
+			if len(draws) != 4*rounds {
+				t.Fatalf("honest server drew %d samples over %d rounds x 2 worlds, want exactly %d (2 per round)",
+					len(draws), rounds, 4*rounds)
+			}
+
+			for i, o := range res.Talking {
+				n1, n2 := draws[2*i], draws[2*i+1]
+				if want := n1 + idleClients; o.M1 != want {
+					t.Fatalf("talking round %d: m1=%d, want n1(%d) + %d idle fakes = %d", o.Round, o.M1, n1, idleClients, want)
+				}
+				if want := (n2+1)/2 + 1; o.M2 != want {
+					t.Fatalf("talking round %d: m2=%d, want ceil(n2=%d /2) + 1 real pair = %d", o.Round, o.M2, n2, want)
+				}
+			}
+			for i, o := range res.Idle {
+				n1, n2 := draws[2*(rounds+i)], draws[2*(rounds+i)+1]
+				if want := n1 + 2 + idleClients; o.M1 != want {
+					t.Fatalf("idle round %d: m1=%d, want n1(%d) + %d idle clients = %d", o.Round, o.M1, n1, 2+idleClients, want)
+				}
+				if want := (n2 + 1) / 2; o.M2 != want {
+					t.Fatalf("idle round %d: m2=%d, want ceil(n2=%d /2) = %d", o.Round, o.M2, n2, want)
+				}
+			}
+
+			// The same parameters must produce the same guarantee the
+			// privacy package reports — the experiment's bound and the
+			// accounting may never diverge.
+			g, ok := Experiment{Noise: noise.Laplace{Mu: tc.mu, B: tc.b}}.Guarantee()
+			if !ok {
+				t.Fatal("no guarantee for Laplace noise")
+			}
+			if want := privacy.ConvoRound(privacy.Params{Mu: tc.mu, B: tc.b}); g != want {
+				t.Fatalf("experiment guarantee %+v != privacy.ConvoRound %+v", g, want)
+			}
+		})
+	}
+}

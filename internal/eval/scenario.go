@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/sim"
+)
+
+// Run is one world's live deployment, handed to Scenario hooks so they
+// can inject faults — kill shards, bounce nodes, churn clients — while
+// the experiment drives rounds.
+type Run struct {
+	// Chain is the deployment under attack.
+	Chain *sim.ChainNet
+	// Conversing reports which world this run is: true when Alice and
+	// Bob exchange real messages, false when everyone is idle cover.
+	Conversing bool
+	// Rounds is the number of conversation rounds this world will run.
+	Rounds int
+
+	sw *swarm
+}
+
+// WaitReady blocks until every swarm client is registered with the
+// entry tier and every live frontend's pipe is connected, or the
+// timeout expires. Scenario hooks call it after a restart so the next
+// round doesn't race the rejoin.
+func (r *Run) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		clients := 0
+		if r.Chain.Coord != nil {
+			clients += r.Chain.Coord.NumClients()
+		}
+		live := 0
+		for _, fe := range r.Chain.Fronts {
+			if fe != nil {
+				live++
+				clients += fe.NumClients()
+			}
+		}
+		if clients == len(r.sw.clients) && (r.Chain.Coord == nil || r.Chain.Coord.NumFrontends() == live) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("eval: %d of %d clients connected after %v", clients, len(r.sw.clients), timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// KickIdleClient severs one idle cover client's connection; the client
+// reconnects on its own, so repeated kicks model leave/rejoin churn at
+// constant population. Alice and Bob are never kicked. A no-op when
+// the experiment has no idle clients.
+func (r *Run) KickIdleClient() {
+	r.sw.kickIdle()
+}
+
+// RunDialRound drives one dialing round through the deployment (the
+// swarm answers dial announcements with idle dial requests), modeling
+// mixed dial+convo load.
+func (r *Run) RunDialRound() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, _, err := r.Chain.Coord.RunDialRound(ctx)
+	return err
+}
+
+// Scenario injects a workload/fault pattern into both worlds of an
+// experiment. The zero value is the healthy baseline.
+type Scenario struct {
+	// Name labels the scenario in results and BENCH_privacy.json.
+	Name string
+	// Configure, if set, mutates the deployment config before it boots
+	// (e.g. forcing a shard policy). It runs once per world.
+	Configure func(cfg *sim.ChainNetConfig)
+	// Start, if set, runs once per world after the deployment is up
+	// and every client is registered, before the first round.
+	Start func(r *Run) error
+	// BeforeRound, if set, runs before round i (0-based) of each
+	// world. Returning an error aborts the world.
+	BeforeRound func(r *Run, i int) error
+}
+
+// Baseline is the healthy-deployment scenario: no faults, pure convo
+// load.
+func Baseline() Scenario {
+	return Scenario{Name: "baseline"}
+}
+
+// DegradedShards kills `dead` shard servers before the first round and
+// runs the whole experiment under mixnet.ShardDegrade, so every round
+// completes with the dead shards' replies zero-filled — measuring
+// whether degrade mode changes what the §4.2 adversary sees
+// (THREAT_MODEL.md §4: the histogram is computed before replies fan
+// out, so it must not).
+func DegradedShards(dead int) Scenario {
+	return Scenario{
+		Name: "degrade",
+		Configure: func(cfg *sim.ChainNetConfig) {
+			if cfg.Shards < dead+1 {
+				cfg.Shards = dead + 1
+			}
+			cfg.ShardPolicy = mixnet.ShardDegrade
+		},
+		Start: func(r *Run) error {
+			for i := 0; i < dead; i++ {
+				r.Chain.KillShard(i)
+			}
+			return nil
+		},
+	}
+}
+
+// ClientChurn kicks one idle cover client before every round; the
+// client reconnects immediately, so the population is constant but
+// membership churns — the PR 8 churn matrix's workload under the
+// adversary's eye.
+func ClientChurn() Scenario {
+	return Scenario{
+		Name: "churn",
+		BeforeRound: func(r *Run, i int) error {
+			r.KickIdleClient()
+			return nil
+		},
+	}
+}
+
+// MidRunRestart bounces a frontend (when the deployment has one) and
+// the honest middle chain server halfway through each world, then
+// waits for the deployment to re-form — measuring whether the restart
+// and rejoin path changes the adversary's view of the surviving
+// rounds.
+func MidRunRestart() Scenario {
+	return Scenario{
+		Name: "restart",
+		BeforeRound: func(r *Run, i int) error {
+			if i != r.Rounds/2 {
+				return nil
+			}
+			if len(r.Chain.Fronts) > 0 {
+				if err := r.Chain.RestartFrontend(0); err != nil {
+					return err
+				}
+			}
+			if len(r.Chain.Servers) >= 3 {
+				if err := r.Chain.RestartServer(1); err != nil {
+					return err
+				}
+			}
+			return r.WaitReady(5 * time.Second)
+		},
+	}
+}
+
+// MixedLoad interleaves a dialing round before every `every`-th
+// conversation round, so the adversary observes the two protocols'
+// traffic mixed on the same wire as in production.
+func MixedLoad(every int) Scenario {
+	if every < 1 {
+		every = 1
+	}
+	return Scenario{
+		Name: "mixed",
+		BeforeRound: func(r *Run, i int) error {
+			if i%every != 0 {
+				return nil
+			}
+			return r.RunDialRound()
+		},
+	}
+}

@@ -1,0 +1,198 @@
+package eval
+
+import (
+	"sync"
+	"time"
+
+	"vuvuzela/internal/convo"
+	"vuvuzela/internal/crypto/box"
+	"vuvuzela/internal/dial"
+	"vuvuzela/internal/onion"
+	"vuvuzela/internal/transport"
+	"vuvuzela/internal/wire"
+)
+
+// swarmClient is one simulated client: it answers every announcement
+// it receives (convo and dial alike) with a request indistinguishable
+// on the wire from any other client's, and reconnects to its entry
+// address whenever its connection drops — which is what keeps the
+// population stable through churn and restart scenarios.
+type swarmClient struct {
+	addr   string
+	pub    box.PublicKey
+	secret *[32]byte // convo dead-drop secret; nil = idle cover client
+	msg    []byte    // payload when conversing
+
+	mu   sync.Mutex
+	conn *wire.Conn
+}
+
+// setConn swaps the client's connection, closing any previous one.
+func (c *swarmClient) setConn(conn *wire.Conn) {
+	c.mu.Lock()
+	old := c.conn
+	c.conn = conn
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// kick severs the client's current connection; the client loop redials.
+func (c *swarmClient) kick() {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// swarm runs a set of clients against an entry tier.
+type swarm struct {
+	net     transport.Network
+	pubs    []box.PublicKey
+	clients []*swarmClient
+
+	closing chan struct{}
+	wg      sync.WaitGroup
+
+	kickMu  sync.Mutex
+	kickIdx int
+}
+
+// newSwarm starts one goroutine per client; each dials its assigned
+// entry address immediately.
+func newSwarm(net transport.Network, pubs []box.PublicKey, clients []*swarmClient) *swarm {
+	sw := &swarm{
+		net:     net,
+		pubs:    pubs,
+		clients: clients,
+		closing: make(chan struct{}),
+	}
+	for _, c := range clients {
+		sw.wg.Add(1)
+		go sw.loop(c)
+	}
+	return sw
+}
+
+// close tears every client down and waits for the loops to exit.
+func (sw *swarm) close() {
+	close(sw.closing)
+	for _, c := range sw.clients {
+		c.kick()
+	}
+	sw.wg.Wait()
+}
+
+// kickIdle severs the next idle client's connection, round-robin, so
+// churn scenarios spread the kicks over the cover population.
+func (sw *swarm) kickIdle() {
+	sw.kickMu.Lock()
+	defer sw.kickMu.Unlock()
+	for range sw.clients {
+		c := sw.clients[sw.kickIdx%len(sw.clients)]
+		sw.kickIdx++
+		if c.secret == nil {
+			c.kick()
+			return
+		}
+	}
+}
+
+// loop is one client's lifetime: dial, answer announcements, redial on
+// any error until the swarm closes.
+func (sw *swarm) loop(c *swarmClient) {
+	defer sw.wg.Done()
+	for {
+		if !sw.redial(c) {
+			return
+		}
+		sw.serve(c)
+		select {
+		case <-sw.closing:
+			return
+		default:
+		}
+	}
+}
+
+// redial connects c to its entry address, retrying until it succeeds
+// or the swarm closes.
+func (sw *swarm) redial(c *swarmClient) bool {
+	for {
+		select {
+		case <-sw.closing:
+			return false
+		default:
+		}
+		raw, err := sw.net.Dial(c.addr)
+		if err == nil {
+			c.setConn(wire.NewConn(raw))
+			return true
+		}
+		select {
+		case <-sw.closing:
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// serve answers announcements on the current connection until it
+// fails.
+func (sw *swarm) serve(c *swarmClient) {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if msg.Kind != wire.KindAnnounce {
+			continue
+		}
+		body, err := sw.request(c, msg)
+		if err != nil {
+			return
+		}
+		if err := conn.Send(&wire.Message{
+			Kind: wire.KindSubmit, Proto: msg.Proto, Round: msg.Round, Body: [][]byte{body},
+		}); err != nil {
+			return
+		}
+	}
+}
+
+// request builds the onion answering one announcement: a real or fake
+// conversation request, or an idle dialing request — all fixed-size
+// and indistinguishable on the wire.
+func (sw *swarm) request(c *swarmClient, msg *wire.Message) ([]byte, error) {
+	var payload []byte
+	switch msg.Proto {
+	case wire.ProtoConvo:
+		req, err := convo.BuildRequest(c.secret, msg.Round, &c.pub, c.msg)
+		if err != nil {
+			return nil, err
+		}
+		payload = req.Marshal()
+	case wire.ProtoDial:
+		req, err := dial.BuildRequest(&c.pub, nil, msg.M, nil)
+		if err != nil {
+			return nil, err
+		}
+		payload = req.Marshal()
+	default:
+		return nil, wire.ErrFrontFrame
+	}
+	o, _, err := onion.Wrap(payload, msg.Round, 0, sw.pubs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
+}

@@ -72,6 +72,36 @@ type ChainNetConfig struct {
 	// `-round-state` wiring. Empty runs every node memory-only (the
 	// replay-window control).
 	StateDir string
+	// ConvoNoise, if set, replaces the Mu-based fixed conversation
+	// noise with an arbitrary distribution (e.g. the production
+	// truncated Laplace) on every noisy mixing server; Mu is then
+	// ignored. The last server never adds conversation noise (§8.2)
+	// under either path.
+	ConvoNoise noise.Distribution
+	// NoiseSrc seeds the noisy servers' ConvoNoise draws, for
+	// reproducible experiments (nil = crypto/rand). Callers sharing one
+	// seeded source across servers or across deployments must make it
+	// safe for concurrent use.
+	NoiseSrc noise.Source
+	// NoisyServers lists the chain positions that add conversation
+	// noise; nil means every mixing (non-last) server, the production
+	// wiring. The adversarial eval harness (internal/eval) narrows this
+	// to model §4.2's compromised servers withholding their own noise.
+	// Last-server positions are ignored: it never adds convo noise.
+	NoisyServers []int
+	// ConvoObserver, if set, receives the dead-drop access histogram
+	// of every conversation round that reaches the last server's
+	// exchange — the compromised-last-server tap of the eval harness.
+	// It fires after the harness's internal round log, before the
+	// exchange runs.
+	ConvoObserver func(round uint64, m1, m2, more int)
+	// ShardPolicy is handed to the last server's shard router:
+	// mixnet.ShardAbort (the default) or mixnet.ShardDegrade. Ignored
+	// when Shards == 0.
+	ShardPolicy mixnet.ShardPolicy
+	// OnShardDegraded is handed to the last server's shard router; it
+	// fires once per zero-filled shard per round under ShardDegrade.
+	OnShardDegraded func(round uint64, shard int, addr string, err error)
 }
 
 // ChainNet is a running fully networked chain.
@@ -218,20 +248,32 @@ func NewChainNet(cfg ChainNetConfig) (*ChainNet, error) {
 				mc.ShardAddrs = cn.ShardAddrs
 				mc.ShardPubs = cn.ShardPubs
 				mc.ShardTimeout = cfg.ShardTimeout
+				mc.ShardPolicy = cfg.ShardPolicy
+				mc.OnShardDegraded = cfg.OnShardDegraded
 			}
 			// Every round number that reaches the exchange lands in the
 			// harness's round log — the matrix's "never repeats on the
-			// wire" assertion reads it back via ExchangedRounds.
+			// wire" assertion reads it back via ExchangedRounds. The
+			// caller's observer (the eval harness's adversary tap) is
+			// chained after it.
 			mc.ConvoObserver = func(round uint64, m1, m2, more int) {
 				cn.roundMu.Lock()
 				cn.rounds = append(cn.rounds, round)
 				cn.roundMu.Unlock()
+				if cfg.ConvoObserver != nil {
+					cfg.ConvoObserver(round, m1, m2, more)
+				}
 			}
 		} else {
 			mc.Net = cfg.Net
 			mc.NextAddr = cn.ServerAddrs[i+1]
-			if cfg.Mu > 0 {
-				mc.ConvoNoise = noise.Fixed{N: cfg.Mu}
+			if cn.noisyServer(i) {
+				if cfg.ConvoNoise != nil {
+					mc.ConvoNoise = cfg.ConvoNoise
+					mc.NoiseSrc = cfg.NoiseSrc
+				} else if cfg.Mu > 0 {
+					mc.ConvoNoise = noise.Fixed{N: cfg.Mu}
+				}
 			}
 		}
 		if cfg.StateDir != "" {
@@ -383,6 +425,20 @@ func (cn *ChainNet) startEntry() error {
 	cn.Coord = co
 	cn.entryL = l
 	return nil
+}
+
+// noisyServer reports whether chain position i should add conversation
+// noise under cfg.NoisyServers (nil = every mixing server).
+func (cn *ChainNet) noisyServer(i int) bool {
+	if cn.cfg.NoisyServers == nil {
+		return true
+	}
+	for _, p := range cn.cfg.NoisyServers {
+		if p == i {
+			return true
+		}
+	}
+	return false
 }
 
 // ExchangedRounds returns every round number that reached the last

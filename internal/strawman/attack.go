@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"vuvuzela/internal/convo"
-	"vuvuzela/internal/crypto/box"
-	"vuvuzela/internal/mixnet"
+	"vuvuzela/internal/eval"
 	"vuvuzela/internal/noise"
-	"vuvuzela/internal/onion"
 )
 
 // MixnetExperiment runs the §4.2 active attack against the real protocol
@@ -24,6 +22,12 @@ import (
 // middleNoise cover traffic (nil reproduces the no-noise mixnet the attack
 // breaks); the compromised last server records the dead-drop histogram.
 //
+// It is a thin preset over internal/eval's generalized two-world
+// harness: a 3-server eval.Experiment with only the target pair as
+// clients (the discard attack) and noise drawn by the honest middle
+// server alone. eval runs the same attack against full deployments —
+// frontends, shards, faults — and scores it against the (ε,δ) bounds.
+//
 // It returns per-round observations from the world where Alice and Bob
 // converse and the world where both are idle.
 type MixnetExperiment struct {
@@ -37,93 +41,34 @@ type MixnetExperiment struct {
 
 // Run executes the experiment.
 func (e MixnetExperiment) Run() (talking, idle []Observation, err error) {
-	talking, err = e.runWorld(true)
+	exp := eval.Experiment{
+		Rounds:       e.Rounds,
+		Servers:      3,
+		Noise:        e.MiddleNoise,
+		NoiseSrc:     e.NoiseSrc,
+		NoisyServers: []int{1},
+		Adversary:    eval.CompromisedServers,
+	}
+	res, err := exp.Run()
 	if err != nil {
 		return nil, nil, err
 	}
-	idle, err = e.runWorld(false)
-	if err != nil {
-		return nil, nil, err
+	// The strawman's hand-wired chain could not lose a round; the
+	// networked deployment can, and a short world would silently skew
+	// the distinguisher.
+	if res.FailedTalking != 0 || res.FailedIdle != 0 {
+		return nil, nil, fmt.Errorf("strawman: %d talking / %d idle rounds failed", res.FailedTalking, res.FailedIdle)
 	}
-	return talking, idle, nil
+	return fromEval(res.Talking), fromEval(res.Idle), nil
 }
 
-func (e MixnetExperiment) runWorld(conversing bool) ([]Observation, error) {
-	pubs, privs, err := mixnet.NewChainKeys(3)
-	if err != nil {
-		return nil, err
+// fromEval projects eval's observations onto the strawman's.
+func fromEval(obs []eval.Observation) []Observation {
+	out := make([]Observation, len(obs))
+	for i, o := range obs {
+		out[i] = Observation{M1: o.M1, M2: o.M2}
 	}
-	var obs []Observation
-	observer := func(round uint64, m1, m2, more int) {
-		obs = append(obs, Observation{M1: m1, M2: m2 + more})
-	}
-
-	// Build the chain back to front so NextLocal links resolve. The
-	// malicious first server runs the protocol but adds no noise (its
-	// noise would only help the users, so a rational adversary omits it).
-	last, err := mixnet.NewServer(mixnet.Config{
-		Position: 2, ChainPubs: pubs, Priv: privs[2],
-		ConvoObserver: observer,
-	})
-	if err != nil {
-		return nil, err
-	}
-	honest, err := mixnet.NewServer(mixnet.Config{
-		Position: 1, ChainPubs: pubs, Priv: privs[1],
-		ConvoNoise: e.MiddleNoise, NoiseSrc: e.NoiseSrc,
-		NextLocal: last,
-	})
-	if err != nil {
-		return nil, err
-	}
-	malicious, err := mixnet.NewServer(mixnet.Config{
-		Position: 0, ChainPubs: pubs, Priv: privs[0],
-		NextLocal: honest,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	alicePub, alicePriv := box.KeyPairFromSeed([]byte("attack-alice"))
-	bobPub, bobPriv := box.KeyPairFromSeed([]byte("attack-bob"))
-	secretA, err := convo.DeriveSecret(&alicePriv, &bobPub)
-	if err != nil {
-		return nil, err
-	}
-	secretB, err := convo.DeriveSecret(&bobPriv, &alicePub)
-	if err != nil {
-		return nil, err
-	}
-
-	for r := 1; r <= e.Rounds; r++ {
-		round := uint64(r)
-		var sa, sb *[32]byte
-		if conversing {
-			sa, sb = secretA, secretB
-		}
-		reqA, err := convo.BuildRequest(sa, round, &alicePub, []byte("hi"))
-		if err != nil {
-			return nil, err
-		}
-		reqB, err := convo.BuildRequest(sb, round, &bobPub, []byte("hi"))
-		if err != nil {
-			return nil, err
-		}
-		// The discard attack: only Alice's and Bob's onions enter the
-		// chain.
-		batch := make([][]byte, 0, 2)
-		for _, req := range []*convo.Request{reqA, reqB} {
-			o, _, err := onion.Wrap(req.Marshal(), round, 0, pubs, nil)
-			if err != nil {
-				return nil, err
-			}
-			batch = append(batch, o)
-		}
-		if _, err := malicious.ConvoRound(round, batch); err != nil {
-			return nil, fmt.Errorf("round %d: %w", r, err)
-		}
-	}
-	return obs, nil
+	return out
 }
 
 // StrawmanExperiment demonstrates the single-server baseline's total

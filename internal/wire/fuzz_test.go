@@ -200,6 +200,103 @@ func TestShardReplyDuplicateRejected(t *testing.T) {
 	}
 }
 
+// FuzzCheckFrontBatch fuzzes the coordinator's validator for
+// frontend-pipe partial batches: whatever Decode accepts, CheckFrontBatch
+// must classify without panicking, reject with an ErrFrontFrame-classed
+// error, and accept only frames whose body is exactly M×perClient onions
+// — the frame that decides how many onions an untrusted frontend injects
+// into a round. Seeds cover a corrupt onion count (M field), an
+// oversized timeout field (Bucket bytes), truncations, and the empty
+// frame.
+func FuzzCheckFrontBatch(f *testing.F) {
+	valid := FrontBatchMessage(ProtoConvo, 7, 2, [][]byte{{1}, {2}, {3}, {4}}).Encode()
+	f.Add(valid, uint16(2))
+	// Corrupt onion count: the M field (bytes 10..13) no longer matches
+	// the body.
+	corruptM := append([]byte(nil), valid...)
+	corruptM[10], corruptM[11], corruptM[12], corruptM[13] = 0, 0, 0, 9
+	f.Add(corruptM, uint16(2))
+	// Oversized timeout field: the Bucket bytes (14..17) carry the
+	// submit-timeout budget on announce frames; a forged batch echoing a
+	// saturated budget must still be judged only on its structure.
+	bigBucket := append([]byte(nil), valid...)
+	bigBucket[14], bigBucket[15], bigBucket[16], bigBucket[17] = 0xff, 0xff, 0xff, 0xff
+	f.Add(bigBucket, uint16(2))
+	f.Add(valid[:9], uint16(1))
+	f.Add([]byte{}, uint16(0))
+	f.Add(FrontBatchMessage(ProtoDial, 3, 0, nil).Encode(), uint16(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, perClient uint16) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("CheckFrontBatch panicked on %x: %v", data, r)
+			}
+		}()
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := CheckFrontBatch(m, int(perClient)); err != nil {
+			if !errors.Is(err, ErrFrontFrame) {
+				t.Fatalf("rejection not ErrFrontFrame-classed: %v", err)
+			}
+			return
+		}
+		// Accepted frames must be internally consistent: the coordinator
+		// slices the round batch by these counts.
+		if m.Kind != KindFrontBatch {
+			t.Fatalf("accepted kind %d as a front batch", m.Kind)
+		}
+		if perClient < 1 {
+			t.Fatal("accepted a batch with a non-positive per-client count")
+		}
+		if int64(m.M)*int64(perClient) != int64(len(m.Body)) {
+			t.Fatalf("accepted %d onions for %d clients × %d per client", len(m.Body), m.M, perClient)
+		}
+	})
+}
+
+// FuzzCheckFrontReplies fuzzes the frontend's validator for the
+// coordinator's reply slices: no decoded frame may panic the check, a
+// rejection must be ErrFrontFrame-classed, and an accepted slice must
+// match the outstanding batch exactly — kind, proto, round, and reply
+// count. Seeds cover a stale reply slice (previous round's frame against
+// the current round), a cross-protocol slice, and truncations.
+func FuzzCheckFrontReplies(f *testing.F) {
+	valid := FrontRepliesMessage(ProtoConvo, 7, 2, [][]byte{{1}, {2}}).Encode()
+	f.Add(valid, uint8(ProtoConvo), uint64(7), uint16(2))
+	// Stale reply slice: round-7 replies replayed against round 8.
+	f.Add(valid, uint8(ProtoConvo), uint64(8), uint16(2))
+	// Cross-protocol: convo replies against a dial round.
+	f.Add(valid, uint8(ProtoDial), uint64(7), uint16(2))
+	// Dialing acknowledgement: M echoes the bucket count, empty body.
+	f.Add(FrontRepliesMessage(ProtoDial, 3, 5, nil).Encode(), uint8(ProtoDial), uint64(3), uint16(0))
+	f.Add(valid[:11], uint8(ProtoConvo), uint64(7), uint16(2))
+	f.Add([]byte{}, uint8(0), uint64(0), uint16(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, proto uint8, round uint64, want uint16) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("CheckFrontReplies panicked on %x: %v", data, r)
+			}
+		}()
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := CheckFrontReplies(m, Proto(proto), round, int(want)); err != nil {
+			if !errors.Is(err, ErrFrontFrame) {
+				t.Fatalf("rejection not ErrFrontFrame-classed: %v", err)
+			}
+			return
+		}
+		if m.Kind != KindFrontReplies || m.Proto != Proto(proto) || m.Round != round || len(m.Body) != int(want) {
+			t.Fatalf("accepted reply slice kind=%d proto=%d round=%d n=%d against proto=%d round=%d want=%d",
+				m.Kind, m.Proto, m.Round, len(m.Body), proto, round, want)
+		}
+	})
+}
+
 // ---- Fuzz targets for the authenticated shard-leg transport ----
 //
 // The shard fan-out frames of this package travel inside
